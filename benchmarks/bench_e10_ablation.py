@@ -1,0 +1,22 @@
+"""E10 — design-choice ablations.
+
+Reconstruction-specific: each of AlterBFT's mechanisms is removed under
+the adversary it defends against, demonstrating it is load-bearing.
+"""
+
+from repro.bench import e10_ablation
+
+
+def test_e10_ablation(run_output):
+    output = run_output(e10_ablation)
+    # Removing the header relay loses safety under equivocation.
+    assert output.headline["relay_off_safety_violated"] is True
+    relay_on = next(r for r in output.rows if r["case"] == "equivocate, relay=on")
+    assert relay_on["safety_ok"]
+    # Voting before payload availability loses liveness under withholding.
+    withhold_on = next(
+        r for r in output.rows if r["case"] == "withhold, vote_after_payload=on"
+    )
+    assert output.headline["vote_on_header_commits"] < withhold_on["commits"] / 2
+    # A fixed epoch timer livelocks when payload delivery outlasts it.
+    assert output.headline["adaptive_timer_blocks"] > 2 * output.headline["fixed_timer_blocks"]

@@ -1,0 +1,18 @@
+"""E11 — analytic model vs simulation.
+
+Shape: per-protocol predicted p50 block latency within ~3× of measured;
+the predicted AlterBFT/Sync-HotStuff gap within 2× of the measured gap.
+"""
+
+from repro.bench import e11_model_validation
+
+
+def test_e11_model_validation(run_output):
+    output = run_output(e11_model_validation)
+    assert all(r["safety_ok"] for r in output.rows)
+    for row in output.rows:
+        assert 1 / 3 <= float(row["lat_err_x"]) <= 3.0, row
+        assert 0.3 <= float(row["meas_tput_tps"]) / float(row["pred_tput_tps"]) <= 3.0, row
+    predicted = output.headline["predicted_gap_x"]
+    measured = output.headline["measured_gap_x"]
+    assert 0.5 <= predicted / measured <= 2.0

@@ -1,0 +1,18 @@
+"""E1 — cloud message-delay characterization (motivating figure).
+
+Paper shape: small-message delays bounded at millisecond scale even at
+the max; large-message delays heavy-tailed, orders of magnitude worse.
+"""
+
+from repro.bench import e1_delay_characterization
+
+
+def test_e1_delay_characterization(run_output):
+    output = run_output(e1_delay_characterization)
+    assert output.headline["small_max_ms"] < 10.0
+    assert output.headline["tail_gap_x"] > 10.0
+    small_rows = [r for r in output.rows if r["class"] == "small"]
+    large_rows = [r for r in output.rows if r["class"] == "large"]
+    # Every small size respects the bound; every large p99.9 exceeds it.
+    assert all(r["max_ms"] <= 5.1 for r in small_rows)
+    assert all(r["p99.9_ms"] > 20.0 for r in large_rows)

@@ -1,0 +1,18 @@
+"""E2 — synchrony-bound violations by message size.
+
+Paper shape: small messages violate no practical bound; large messages
+violate every bound a latency-conscious deployment could pick.
+"""
+
+from repro.bench import e2_bound_violations
+
+
+def test_e2_bound_violations(run_output):
+    output = run_output(e2_bound_violations)
+    assert output.headline["small_violations_at_5ms_%"] == 0.0
+    small = [r for r in output.rows if r["class"] == "small"]
+    large = [r for r in output.rows if r["class"] == "large"]
+    assert all(r["viol@5ms_%"] == 0.0 for r in small)
+    # A megabyte message violates a 25 ms bound more than 1% of the time.
+    megabyte = next(r for r in large if r["size_B"] >= 1_000_000)
+    assert megabyte["viol@25ms_%"] > 1.0

@@ -1,0 +1,24 @@
+"""E3 — latency vs throughput (the paper's main figure).
+
+Paper shape: AlterBFT up to ~15× lower latency than Sync HotStuff at
+similar throughput and the same f < n/2 resilience; latency comparable
+to the partially synchronous baselines (which only tolerate f < n/3).
+"""
+
+from repro.bench import e3_latency_throughput
+
+
+def test_e3_latency_throughput(run_output):
+    output = run_output(e3_latency_throughput)
+    assert all(r["safety_ok"] for r in output.rows)
+    # The headline gap vs Sync HotStuff.
+    assert output.headline["sync_hotstuff_over_alterbft_x"] > 5.0
+    # Comparable latency class vs partial synchrony (within ~5× either way).
+    assert 0.1 < output.headline["hotstuff_over_alterbft_x"] < 5.0
+    assert 0.05 < output.headline["pbft_over_alterbft_x"] < 5.0
+    # Similar throughput: at the highest common offered load each protocol
+    # keeps up within 40% of AlterBFT.
+    top = max(r["offered_tps"] for r in output.rows)
+    tputs = {r["protocol"]: r["tput_tps"] for r in output.rows if r["offered_tps"] == top}
+    for protocol, tput in tputs.items():
+        assert tput > 0.6 * tputs["alterbft"], protocol

@@ -1,0 +1,24 @@
+"""E5 — scalability with the fault budget f.
+
+Paper shape: at equal f, AlterBFT runs 2f+1 replicas vs 3f+1 for the
+partially synchronous protocols; all four degrade gracefully with f, and
+AlterBFT's smaller fan-out keeps it at least competitive in throughput.
+"""
+
+from repro.bench import e5_scalability
+
+
+def test_e5_scalability(run_output):
+    output = run_output(e5_scalability)
+    assert all(r["safety_ok"] for r in output.rows)
+    for row in output.rows:
+        expected_n = 2 * row["f"] + 1 if row["protocol"] in ("alterbft", "sync-hotstuff") else 3 * row["f"] + 1
+        assert row["n"] == expected_n
+    # At the largest f, AlterBFT still commits the offered load while its
+    # latency stays in the low-milliseconds class.
+    largest = output.headline["f"]
+    alter = next(
+        r for r in output.rows if r["protocol"] == "alterbft" and r["f"] == largest
+    )
+    assert float(alter["tput_tps"]) > 500.0
+    assert float(alter["lat_p50_ms"]) < 100.0

@@ -1,0 +1,22 @@
+"""E7 — sensitivity to the synchrony bound Δ.
+
+Paper shape: commit latency tracks 2Δ linearly for both synchronous-model
+protocols; the whole performance story is *which messages* Δ must bound.
+"""
+
+from repro.bench import e7_delta_sensitivity
+
+
+def test_e7_delta_sensitivity(run_output):
+    output = run_output(e7_delta_sensitivity)
+    assert all(r["safety_ok"] for r in output.rows)
+    # Latency grows ≈ 2 ms per ms of Δ.
+    assert 1.2 < output.headline["alterbft_latency_slope_vs_delta"] < 2.8
+    for protocol in ("alterbft", "sync-hotstuff"):
+        rows = [r for r in output.rows if r["protocol"] == protocol]
+        rows.sort(key=lambda r: float(r["delta_ms"]))
+        latencies = [float(r["lat_p50_ms"]) for r in rows]
+        assert latencies == sorted(latencies), protocol
+        # And each p50 is at least the 2Δ floor.
+        for row in rows:
+            assert float(row["lat_p50_ms"]) >= 2 * float(row["delta_ms"]) * 0.95

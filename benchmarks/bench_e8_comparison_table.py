@@ -1,0 +1,22 @@
+"""E8 — the protocol comparison table.
+
+Paper shape: AlterBFT offers synchronous resilience (f < n/2, n = 2f+1)
+at partially-synchronous latency; PBFT pays quadratic messages; Sync
+HotStuff pays 2Δ_big.
+"""
+
+from repro.bench import e8_comparison_table
+
+
+def test_e8_comparison_table(run_output):
+    output = run_output(e8_comparison_table)
+    rows = {r["protocol"]: r for r in output.rows}
+    assert all(r["safety_ok"] for r in output.rows)
+    # Resilience and cluster sizes at f = 1.
+    assert rows["alterbft"]["resilience"] == "f < n/2"
+    assert rows["alterbft"]["n_at_f1"] == 3
+    assert rows["hotstuff"]["n_at_f1"] == 4
+    # Latency ordering: alterbft ≪ sync-hotstuff.
+    assert rows["alterbft"]["lat_p50_ms"] * 5 < rows["sync-hotstuff"]["lat_p50_ms"]
+    # PBFT's quadratic phases: more messages per block than HotStuff.
+    assert rows["pbft"]["msgs_per_block"] > rows["hotstuff"]["msgs_per_block"]

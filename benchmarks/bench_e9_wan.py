@@ -1,0 +1,17 @@
+"""E9 — multi-region (WAN) deployment.
+
+Paper shape: cross-region propagation raises every protocol's floor, but
+bounding only small messages still wins — the hybrid model's advantage
+carries over to the WAN.
+"""
+
+from repro.bench import e9_wan
+
+
+def test_e9_wan(run_output):
+    output = run_output(e9_wan)
+    assert all(r["safety_ok"] for r in output.rows)
+    assert output.headline["sync_hotstuff_over_alterbft_x"] > 1.3
+    # WAN floors: everything is slower than the single-AZ numbers.
+    alter = next(r for r in output.rows if r["protocol"] == "alterbft")
+    assert float(alter["lat_p50_ms"]) > 50.0

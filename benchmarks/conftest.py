@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md's experiment index).  Each runs its experiment exactly once
+(``benchmark.pedantic`` with one round — these are minutes-long
+simulations, not microbenchmarks), prints the regenerated table, and
+asserts the *shape* of the paper's result.
+
+Set ``REPRO_BENCH_FULL=1`` for the full-size sweeps recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+@pytest.fixture
+def run_output(benchmark, fast_mode):
+    """Run an experiment module once under pytest-benchmark and print it."""
+
+    def runner(module):
+        from repro.runner.report import format_table
+
+        output = benchmark.pedantic(module.run, kwargs={"fast": fast_mode}, rounds=1, iterations=1)
+        print(f"\n=== {output.experiment_id}: {output.title} ===")
+        print(format_table(output.rows))
+        print(f"headline: {output.headline}")
+        print(f"notes: {output.notes}")
+        return output
+
+    return runner

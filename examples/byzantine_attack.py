@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Byzantine leader attacks against AlterBFT — and why its defenses hold.
+
+Usage::
+
+    python examples/byzantine_attack.py
+
+Three scenarios on a simulated f = 1 cluster whose epoch-1 leader is
+Byzantine:
+
+1. **Equivocation**: the leader proposes two conflicting blocks, one per
+   half of the cluster, voting for both.  Relayed headers expose the
+   conflict inside every honest replica's 2Δ window, a transferable
+   equivocation proof circulates, and the epoch is abandoned — no fork.
+2. **Payload withholding**: headers without payloads.  Honest replicas
+   refuse to vote for unavailable blocks, fail to repair the payload,
+   blame, and move on.
+3. **The ablation**: equivocation again, but with header relaying
+   disabled — the mechanism removed, the honest ledgers fork, and the
+   harness's safety checker reports it.
+"""
+
+from repro import ExperimentConfig, WorkloadConfig, run_experiment, standard_protocol_config
+
+
+def scenario(title: str, fault: str, relay_headers: bool = True) -> None:
+    pconf = standard_protocol_config(
+        "alterbft", f=1, delta_small=0.005, delta_big=0.2
+    ).with_(relay_headers=relay_headers)
+    config = ExperimentConfig(
+        protocol="alterbft",
+        protocol_config=pconf,
+        workload=WorkloadConfig(rate=300.0, duration=8.0, tx_size=256),
+        max_sim_time=10.0,
+        warmup=1.0,
+        faults=((1, fault),),
+    )
+    result = run_experiment(config)
+    verdict = "SAFE" if result.safety_ok else "SAFETY VIOLATED (fork!)"
+    print(f"{title}")
+    print(
+        f"  committed {result.committed_txs} txs across "
+        f"{result.epoch_changes} epoch change(s); ledgers: {verdict}\n"
+    )
+
+
+def main() -> None:
+    scenario("1. Equivocating leader, defenses on:", "equivocate")
+    scenario("2. Payload-withholding leader:", "withhold_payload")
+    scenario(
+        "3. Equivocating leader, header relay DISABLED (ablation):",
+        "equivocate",
+        relay_headers=False,
+    )
+    print(
+        "The third run demonstrates the relay is load-bearing: without "
+        "it, the two halves of the cluster commit different blocks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — AlterBFT: practical synchronous BFT for public clouds.
+
+A from-scratch reproduction of *"Message Size Matters: AlterBFT's
+Approach to Practical Synchronous BFT in Public Clouds"* (MIDDLEWARE
+2025): the AlterBFT protocol under the hybrid synchronous system model,
+three baselines (Sync HotStuff, chained HotStuff, PBFT), a deterministic
+discrete-event cloud-network simulator, a real asyncio transport, and the
+full experiment harness regenerating the paper's evaluation.
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment, standard_protocol_config
+
+    config = ExperimentConfig(
+        protocol="alterbft",
+        protocol_config=standard_protocol_config(
+            "alterbft", f=1, delta_small=0.005, delta_big=0.5
+        ),
+    )
+    result = run_experiment(config)
+    print(result.throughput_tps, result.latency.p50)
+"""
+
+from .config import (
+    ExperimentConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    SMALL_MESSAGE_THRESHOLD,
+    WorkloadConfig,
+)
+from .core.protocol import AlterBFTReplica
+from .baselines import HotStuffReplica, PBFTReplica, SyncHotStuffReplica
+from .errors import ReproError, SafetyViolation
+from .runner import (
+    ExperimentResult,
+    build_cluster,
+    protocol_names,
+    results_table,
+    run_experiment,
+    run_sweep,
+    standard_protocol_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "NetworkConfig",
+    "ProtocolConfig",
+    "SMALL_MESSAGE_THRESHOLD",
+    "WorkloadConfig",
+    "AlterBFTReplica",
+    "HotStuffReplica",
+    "PBFTReplica",
+    "SyncHotStuffReplica",
+    "ReproError",
+    "SafetyViolation",
+    "ExperimentResult",
+    "build_cluster",
+    "protocol_names",
+    "results_table",
+    "run_experiment",
+    "run_sweep",
+    "standard_protocol_config",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Analytical performance models validated against the simulator."""
+
+from .models import PerformanceModel, PerformancePrediction
+
+__all__ = ["PerformanceModel", "PerformancePrediction"]

@@ -1,0 +1,143 @@
+"""Closed-form performance models for the four protocols.
+
+The paper motivates AlterBFT with a simple latency decomposition; this
+module makes those formulas executable so the simulator can be validated
+against them (benchmark E11): given the network parameters and a
+workload, predict steady-state commit latency and saturation throughput
+per protocol, then check the simulation lands within modeling error.
+
+Notation (one-way expectations under the calibrated cloud model):
+
+* ``δ``        — small-message delay (base + mean jitter)
+* ``T(s)``     — large-message delay for s bytes: δ + s/bw + p·E[slowdown]
+* ``Δ_small``  — the bound AlterBFT uses
+* ``Δ_big``    — the bound Sync HotStuff must use (covers T's tail)
+
+Steady-state commit latency of a freshly arrived transaction, ignoring
+queueing (light load):
+
+* AlterBFT:       T(block) + δ(vote) + 2·Δ_small
+* Sync HotStuff:  T(block) + δ(vote) + 2·Δ_big
+* HotStuff:       3 · (T(block) + δ(vote))     (three chained rounds)
+* PBFT:           T(block) + 2·δ               (prepare + commit rounds)
+
+Saturation throughput is bounded by the slowest pipeline stage: the
+leader's egress fan-out of the payload ((n−1)·block/egress_bw), the
+per-flow transfer, and a vote round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import NetworkConfig, ProtocolConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PerformancePrediction:
+    """Model output for one protocol/configuration pair."""
+
+    protocol: str
+    n: int
+    commit_latency: float
+    block_interval: float
+    throughput_tps: float
+
+    def row(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "pred_lat_ms": round(self.commit_latency * 1e3, 2),
+            "pred_interval_ms": round(self.block_interval * 1e3, 2),
+            "pred_tput_tps": round(self.throughput_tps, 1),
+        }
+
+
+class PerformanceModel:
+    """Analytic latency/throughput predictions (module docstring)."""
+
+    def __init__(self, network: NetworkConfig) -> None:
+        network.validate()
+        self.network = network
+
+    # -- primitive delays ---------------------------------------------------
+
+    def small_delay(self) -> float:
+        """Expected one-way small-message delay."""
+        return self.network.base_delay + self.network.jitter_scale
+
+    def transfer(self, size: int) -> float:
+        """Expected one-way delay for a ``size``-byte message."""
+        cfg = self.network
+        delay = self.small_delay()
+        if size <= cfg.small_threshold:
+            return min(delay, cfg.small_bound)
+        # Mean of the Pareto slowdown (finite for alpha > 1).
+        if cfg.slowdown_alpha > 1:
+            slow_mean = cfg.slowdown_scale * cfg.slowdown_alpha / (cfg.slowdown_alpha - 1)
+        else:  # pragma: no cover - degenerate configuration
+            slow_mean = cfg.slowdown_scale * 10
+        return delay + size / cfg.bandwidth + cfg.slowdown_probability * slow_mean
+
+    def egress_fanout(self, size: int, copies: int) -> float:
+        """Time the sender's NIC needs to emit ``copies`` of a message."""
+        if size <= self.network.small_threshold:
+            return 0.0  # priority lane
+        return copies * size / self.network.egress_bandwidth
+
+    # -- per-protocol predictions ---------------------------------------------
+
+    def predict(
+        self,
+        protocol: str,
+        config: ProtocolConfig,
+        block_bytes: int,
+        delta_big: float,
+        txs_per_block: float,
+    ) -> PerformancePrediction:
+        """Predict steady-state behavior for one protocol."""
+        n = config.n
+        delta_small = config.delta
+        dissemination = max(
+            self.egress_fanout(block_bytes, n - 1), self.transfer(block_bytes)
+        )
+        vote = self.small_delay()
+
+        if protocol == "alterbft":
+            latency = dissemination + vote + 2 * delta_small
+            interval = dissemination + vote
+        elif protocol == "sync-hotstuff":
+            latency = dissemination + vote + 2 * delta_big
+            interval = dissemination + vote
+        elif protocol == "hotstuff":
+            latency = 3 * (dissemination + vote)
+            interval = dissemination + vote
+        elif protocol == "pbft":
+            latency = dissemination + 2 * vote
+            interval = dissemination + vote
+        else:
+            raise ConfigError(f"unknown protocol {protocol!r}")
+
+        throughput = txs_per_block / interval if interval > 0 else math.inf
+        return PerformancePrediction(
+            protocol=protocol,
+            n=n,
+            commit_latency=latency,
+            block_interval=interval,
+            throughput_tps=throughput,
+        )
+
+    def latency_gap(
+        self,
+        config_alter: ProtocolConfig,
+        config_sync: ProtocolConfig,
+        block_bytes: int,
+        delta_big: float,
+    ) -> float:
+        """Predicted Sync HotStuff / AlterBFT latency ratio — the paper's
+        headline number, in closed form."""
+        alter = self.predict("alterbft", config_alter, block_bytes, delta_big, 1.0)
+        sync = self.predict("sync-hotstuff", config_sync, block_bytes, delta_big, 1.0)
+        return sync.commit_latency / alter.commit_latency

@@ -1,0 +1,7 @@
+"""Baseline protocols the paper compares AlterBFT against."""
+
+from .hotstuff import HotStuffReplica
+from .pbft import PBFTReplica
+from .sync_hotstuff import SyncHotStuffReplica
+
+__all__ = ["HotStuffReplica", "PBFTReplica", "SyncHotStuffReplica"]

@@ -1,0 +1,39 @@
+"""``python -m repro.bench`` — run the experiment suite from the shell.
+
+Options:
+    --full        run full-size sweeps (slower, more points)
+    --only E3,E4  run a subset of experiments
+    --write-md    rewrite EXPERIMENTS.md at the repository root
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .suite import render_experiments_md, run_suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    parser.add_argument("--full", action="store_true", help="full-size sweeps")
+    parser.add_argument("--only", default="", help="comma-separated experiment ids")
+    parser.add_argument(
+        "--write-md",
+        default="",
+        metavar="PATH",
+        help="write EXPERIMENTS.md to this path after running",
+    )
+    args = parser.parse_args(argv)
+    ids = tuple(x.strip() for x in args.only.split(",") if x.strip())
+    outputs = run_suite(fast=not args.full, ids=ids)
+    if args.write_md:
+        content = render_experiments_md(outputs, fast=not args.full)
+        pathlib.Path(args.write_md).write_text(content, encoding="utf-8")
+        print(f"\nwrote {args.write_md}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

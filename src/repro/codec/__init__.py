@@ -1,0 +1,12 @@
+"""Deterministic binary wire codec and the message type-id registry."""
+
+from .core import CodecError, decode, encode, encoded_size, register, registered_type_id
+
+__all__ = [
+    "CodecError",
+    "decode",
+    "encode",
+    "encoded_size",
+    "register",
+    "registered_type_id",
+]

@@ -1,0 +1,254 @@
+"""Binary wire codec.
+
+A compact, self-describing, deterministic encoding for the value types the
+protocols exchange: ``None``, bools, ints, floats, bytes, strings, lists,
+tuples, dicts, and *registered dataclasses* (the message and certificate
+types).  The same encoding serves two purposes:
+
+* the real asyncio transport frames and ships these bytes, and
+* the simulated network measures ``len(encode(msg))`` to classify a
+  message as small or large under the hybrid synchronous model — so the
+  sizes the simulator reasons about are genuine wire sizes, not guesses.
+
+Dataclasses participate by registration (:func:`register`): each gets a
+stable numeric type id, and its fields are encoded positionally in
+declaration order.  Decoding reconstructs the dataclass.  Encoding is
+deterministic (dict keys are sorted), so digests of encoded values are
+stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable, Dict, List, Tuple, Type, TypeVar
+
+from ..errors import CodecError
+
+_T = TypeVar("_T")
+
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_BYTES = 0x05
+_TAG_STR = 0x06
+_TAG_LIST = 0x07
+_TAG_TUPLE = 0x08
+_TAG_DICT = 0x09
+_TAG_STRUCT = 0x0A
+
+_registry_by_id: Dict[int, Type] = {}
+_registry_by_type: Dict[Type, int] = {}
+_field_names: Dict[Type, Tuple[str, ...]] = {}
+
+
+def register(type_id: int) -> Callable[[Type[_T]], Type[_T]]:
+    """Class decorator registering a dataclass for wire encoding.
+
+    Type ids must be unique library-wide; see :mod:`repro.codec.registry`
+    for the id allocation map.
+    """
+
+    def decorate(cls: Type[_T]) -> Type[_T]:
+        if not dataclasses.is_dataclass(cls):
+            raise CodecError(f"{cls.__name__} must be a dataclass to register")
+        if type_id in _registry_by_id:
+            raise CodecError(
+                f"type id {type_id} already used by {_registry_by_id[type_id].__name__}"
+            )
+        if cls in _registry_by_type:
+            raise CodecError(f"{cls.__name__} registered twice")
+        _registry_by_id[type_id] = cls
+        _registry_by_type[cls] = type_id
+        _field_names[cls] = tuple(f.name for f in dataclasses.fields(cls))
+        return cls
+
+    return decorate
+
+
+def registered_type_id(cls: Type) -> int:
+    """Return the wire type id of a registered dataclass."""
+    try:
+        return _registry_by_type[cls]
+    except KeyError:
+        raise CodecError(f"{cls.__name__} is not a registered wire type") from None
+
+
+def _write_varint(out: List[bytes], value: int) -> None:
+    if value < 0:
+        raise CodecError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bytes((byte | 0x80,)))
+        else:
+            out.append(bytes((byte,)))
+            return
+
+
+def _zigzag_big(value: int) -> int:
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _encode_into(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(bytes((_TAG_NONE,)))
+    elif value is False:
+        out.append(bytes((_TAG_FALSE,)))
+    elif value is True:
+        out.append(bytes((_TAG_TRUE,)))
+    elif isinstance(value, int):
+        out.append(bytes((_TAG_INT,)))
+        _write_varint(out, _zigzag_big(value))
+    elif isinstance(value, float):
+        out.append(bytes((_TAG_FLOAT,)))
+        out.append(struct.pack(">d", value))
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(bytes((_TAG_BYTES,)))
+        _write_varint(out, len(data))
+        out.append(data)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(bytes((_TAG_STR,)))
+        _write_varint(out, len(data))
+        out.append(data)
+    elif isinstance(value, list):
+        out.append(bytes((_TAG_LIST,)))
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, tuple):
+        out.append(bytes((_TAG_TUPLE,)))
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out.append(bytes((_TAG_DICT,)))
+        _write_varint(out, len(value))
+        try:
+            keys = sorted(value)
+        except TypeError as exc:
+            raise CodecError("dict keys must be sortable for deterministic encoding") from exc
+        for key in keys:
+            _encode_into(key, out)
+            _encode_into(value[key], out)
+    elif type(value) in _registry_by_type:
+        cls = type(value)
+        out.append(bytes((_TAG_STRUCT,)))
+        _write_varint(out, _registry_by_type[cls])
+        names = _field_names[cls]
+        _write_varint(out, len(names))
+        for name in names:
+            _encode_into(getattr(value, name), out)
+    else:
+        raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def encode(value: Any) -> bytes:
+    """Encode any supported value to bytes."""
+    out: List[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise CodecError("truncated message")
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise CodecError("truncated message")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            byte = self.byte()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 640:
+                raise CodecError("varint too long")
+
+
+def _decode_from(reader: _Reader) -> Any:
+    tag = reader.byte()
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_INT:
+        return _unzigzag(reader.varint())
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.take(8))[0]
+    if tag == _TAG_BYTES:
+        return reader.take(reader.varint())
+    if tag == _TAG_STR:
+        return reader.take(reader.varint()).decode("utf-8")
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        count = reader.varint()
+        items = [_decode_from(reader) for _ in range(count)]
+        return items if tag == _TAG_LIST else tuple(items)
+    if tag == _TAG_DICT:
+        count = reader.varint()
+        result = {}
+        for _ in range(count):
+            key = _decode_from(reader)
+            result[key] = _decode_from(reader)
+        return result
+    if tag == _TAG_STRUCT:
+        type_id = reader.varint()
+        cls = _registry_by_id.get(type_id)
+        if cls is None:
+            raise CodecError(f"unknown wire type id {type_id}")
+        count = reader.varint()
+        names = _field_names[cls]
+        if count != len(names):
+            raise CodecError(
+                f"{cls.__name__}: expected {len(names)} fields, wire has {count}"
+            )
+        values = [_decode_from(reader) for _ in range(count)]
+        try:
+            return cls(*values)
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot reconstruct {cls.__name__}: {exc}") from exc
+    raise CodecError(f"unknown tag byte {tag:#04x}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode`; rejects trailing garbage."""
+    reader = _Reader(data)
+    value = _decode_from(reader)
+    if reader.pos != len(data):
+        raise CodecError(f"{len(data) - reader.pos} trailing bytes after value")
+    return value
+
+
+def encoded_size(value: Any) -> int:
+    """Wire size of ``value`` in bytes (one full encode; no caching here)."""
+    return len(encode(value))

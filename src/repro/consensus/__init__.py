@@ -1,0 +1,19 @@
+"""Protocol-agnostic consensus framework: replicas, stores, pacemakers."""
+
+from .blockstore import BlockStore
+from .context import Context, SimContext, TimerHandle
+from .ledger import Ledger
+from .pacemaker import Pacemaker
+from .replica import BaseReplica
+from .validators import ValidatorSet
+
+__all__ = [
+    "BlockStore",
+    "Context",
+    "SimContext",
+    "TimerHandle",
+    "Ledger",
+    "Pacemaker",
+    "BaseReplica",
+    "ValidatorSet",
+]

@@ -1,0 +1,83 @@
+"""The committed ledger.
+
+An append-only chain of committed blocks.  The ledger enforces the one
+invariant that must never break — each committed block's parent is the
+previously committed block — and raises
+:class:`~repro.errors.SafetyViolation` if a protocol tries to violate it.
+Commit listeners (metrics, applications, clients) observe commits in
+order, exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..crypto.hashing import Digest
+from ..errors import LedgerError, SafetyViolation
+from ..types.block import Block, genesis_block
+
+#: Listener signature: listener(block, commit_time).
+CommitListener = Callable[[Block, float], None]
+
+
+class Ledger:
+    """Ordered committed blocks for one replica."""
+
+    def __init__(self) -> None:
+        self._blocks: List[Block] = [genesis_block()]
+        self._hashes = {self._blocks[0].block_hash}
+        self._listeners: List[CommitListener] = []
+
+    def add_listener(self, listener: CommitListener) -> None:
+        self._listeners.append(listener)
+
+    @property
+    def height(self) -> int:
+        """Height of the latest committed block."""
+        return self._blocks[-1].height
+
+    @property
+    def head(self) -> Block:
+        return self._blocks[-1]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block_at(self, height: int) -> Block:
+        if not 0 <= height < len(self._blocks):
+            raise LedgerError(f"no committed block at height {height}")
+        return self._blocks[height]
+
+    def committed_hash_at(self, height: int) -> Optional[Digest]:
+        if 0 <= height < len(self._blocks):
+            return self._blocks[height].block_hash
+        return None
+
+    def is_committed(self, block_hash: Digest) -> bool:
+        return block_hash in self._hashes
+
+    def commit(self, block: Block, now: float) -> None:
+        """Append ``block``; it must directly extend the current head."""
+        head = self._blocks[-1]
+        if block.height != head.height + 1:
+            raise SafetyViolation(
+                f"commit height {block.height} does not follow head height {head.height}"
+            )
+        if block.parent != head.block_hash:
+            raise SafetyViolation(
+                f"committed block at height {block.height} does not extend the committed chain"
+            )
+        if not block.validate_payload():
+            raise LedgerError("committed block has payload/header mismatch")
+        self._blocks.append(block)
+        self._hashes.add(block.block_hash)
+        for listener in self._listeners:
+            listener(block, now)
+
+    def commit_chain(self, blocks: List[Block], now: float) -> None:
+        """Commit several blocks in ascending height order."""
+        for block in blocks:
+            self.commit(block, now)
+
+    def all_hashes(self) -> List[Digest]:
+        return [b.block_hash for b in self._blocks]

@@ -1,0 +1,239 @@
+"""Replica base class shared by all four protocols.
+
+Provides message dispatch, the block store / ledger / mempool wiring,
+vote and blame accounting, and small helpers (signing proposals, checking
+proposer signatures).  Subclasses declare their handlers in a class-level
+``HANDLERS`` mapping from message class to method name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Type
+
+from ..config import ProtocolConfig
+from ..crypto.hashing import Digest
+from ..crypto.signatures import Signer
+from ..errors import VerificationError
+from ..mempool.mempool import Mempool
+from ..types.block import Block, BlockHeader
+from ..types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote
+from ..types.messages import proposal_signing_bytes, PROPOSAL_DOMAIN
+from .blockstore import BlockStore
+from .context import Context
+from .ledger import Ledger
+from .validators import ValidatorSet
+
+
+class BaseReplica:
+    """Common machinery for a consensus replica.
+
+    Subclasses set :attr:`protocol_name`, :attr:`HANDLERS`, and implement
+    :meth:`on_start` plus their message/timer handlers.
+    """
+
+    #: Short protocol name, used in signatures and reports.
+    protocol_name: str = "abstract"
+
+    #: Message-class → handler-method-name mapping (subclass declares).
+    HANDLERS: Dict[Type, str] = {}
+
+    def __init__(
+        self,
+        replica_id: int,
+        validators: ValidatorSet,
+        config: ProtocolConfig,
+        signer: Signer,
+        mempool: Optional[Mempool] = None,
+    ) -> None:
+        self.replica_id = replica_id
+        self.validators = validators
+        self.config = config
+        self.signer = signer
+        self.mempool = mempool if mempool is not None else Mempool()
+        self.store = BlockStore()
+        self.ledger = Ledger()
+        self.ctx: Optional[Context] = None
+        self.crashed = False
+        self._idle_timer_armed = False
+        self._idle_timer_handle: Optional[object] = None
+        self._idle_payload: Any = None
+        # Vote accounting: (phase, epoch, block_hash) → {voter → Vote}.
+        self._votes: Dict[Tuple[int, int, Digest], Dict[int, Vote]] = {}
+        self._qcs: Dict[Tuple[int, int, Digest], QuorumCertificate] = {}
+        # Blame accounting: epoch → {blamer → Blame}.
+        self._blames: Dict[int, Dict[int, Blame]] = {}
+        self._blame_certs: Dict[int, BlameCertificate] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def bind(self, ctx: Context) -> None:
+        """Attach the execution context (simulator or real transport)."""
+        self.ctx = ctx
+        self.mempool.wakeup = self._on_mempool_wakeup
+
+    def on_start(self) -> None:
+        """Called once when the cluster starts; subclasses override."""
+
+    def on_timer(self, tag: str, payload: Any) -> None:
+        """Timer dispatch: calls ``_timer_<tag>`` if defined."""
+        if self.crashed:
+            return
+        method = getattr(self, f"_timer_{tag}", None)
+        if method is None:
+            raise VerificationError(f"{self.protocol_name}: unknown timer tag {tag!r}")
+        method(payload)
+
+    def handle(self, src: int, msg: object) -> None:
+        """Entry point for every incoming message."""
+        if self.crashed:
+            return
+        name = self.HANDLERS.get(type(msg))
+        if name is None:
+            return  # unknown/other-protocol message: ignore
+        try:
+            getattr(self, name)(src, msg)
+        except VerificationError:
+            # Evidence of a faulty peer — drop the message, keep running.
+            if self.ctx is not None:
+                self.ctx.trace("verification_failed", src=src, msg=type(msg).__name__)
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        assert self.ctx is not None, "replica not bound to a context"
+        return self.ctx.now
+
+    def send(self, dst: int, msg: object) -> None:
+        assert self.ctx is not None
+        self.ctx.send(dst, msg)
+
+    def broadcast(self, msg: object, include_self: bool = True) -> None:
+        assert self.ctx is not None
+        self.ctx.broadcast(msg, include_self=include_self)
+
+    def trace(self, kind: str, **detail: Any) -> None:
+        if self.ctx is not None:
+            self.ctx.trace(kind, **detail)
+
+    def is_leader(self, epoch: int) -> bool:
+        return self.validators.leader_of(epoch) == self.replica_id
+
+    def defer_if_idle(self, payload: Any) -> bool:
+        """Idle-proposal pacing (see ``ProtocolConfig.idle_propose_delay``).
+
+        Returns True when the caller should *not* propose now because the
+        mempool is empty; an ``idle_propose`` timer is armed (once) and the
+        protocol's ``_timer_idle_propose`` re-proposes unconditionally.
+        """
+        if self.config.idle_propose_delay <= 0 or self.mempool.pending_count > 0:
+            return False
+        if not self._idle_timer_armed:
+            self._idle_timer_armed = True
+            assert self.ctx is not None
+            self._idle_timer_handle = self.ctx.set_timer(
+                self.config.idle_propose_delay, "idle_propose", payload
+            )
+            self._idle_payload = payload
+        return True
+
+    def _on_mempool_wakeup(self) -> None:
+        """A transaction arrived while the leader was idling: propose now."""
+        if not self._idle_timer_armed or self.crashed:
+            return
+        if self._idle_timer_handle is not None:
+            self._idle_timer_handle.cancel()
+            self._idle_timer_handle = None
+        # Reuse the idle-timer path: it carries the per-protocol guards.
+        self.on_timer("idle_propose", self._idle_payload)
+
+    # -- proposal signatures -----------------------------------------------------
+
+    def sign_proposal(self, block_hash: Digest) -> bytes:
+        return self.signer.digest_and_sign(PROPOSAL_DOMAIN, proposal_signing_bytes(block_hash))
+
+    def verify_proposal_signature(self, proposer: int, block_hash: Digest, signature: bytes) -> bool:
+        return self.signer.verify_digest(
+            proposer, PROPOSAL_DOMAIN, proposal_signing_bytes(block_hash), signature
+        )
+
+    # -- vote accounting -----------------------------------------------------------
+
+    def record_vote(self, vote: Vote) -> Optional[QuorumCertificate]:
+        """Validate and store a vote; returns a fresh QC exactly once.
+
+        The returned certificate is produced the moment the quorum is
+        reached; later duplicate votes return None.
+        """
+        if vote.protocol != self.protocol_name:
+            raise VerificationError("vote for a different protocol")
+        if not self.validators.is_valid_replica(vote.voter):
+            raise VerificationError(f"vote from unknown replica {vote.voter}")
+        if not vote.verify(self.signer):
+            raise VerificationError(f"bad vote signature from {vote.voter}")
+        key = (vote.phase, vote.epoch, vote.block_hash)
+        bucket = self._votes.setdefault(key, {})
+        if vote.voter in bucket:
+            return None
+        bucket[vote.voter] = vote
+        if len(bucket) == self.validators.quorum and key not in self._qcs:
+            qc = QuorumCertificate.from_votes(tuple(bucket.values()))
+            self._qcs[key] = qc
+            return qc
+        return None
+
+    def qc_for(self, phase: int, epoch: int, block_hash: Digest) -> Optional[QuorumCertificate]:
+        return self._qcs.get((phase, epoch, block_hash))
+
+    def verify_qc(self, qc: QuorumCertificate) -> bool:
+        """Verify a received certificate (genesis QC is valid by fiat)."""
+        from ..types.certificates import is_genesis_qc
+
+        if is_genesis_qc(qc):
+            return qc.block_hash == self.store.genesis.block_hash
+        return qc.protocol == self.protocol_name and qc.verify(self.signer, self.validators.quorum)
+
+    # -- blame accounting ------------------------------------------------------------
+
+    def record_blame(self, blame: Blame) -> Optional[BlameCertificate]:
+        """Validate and store a blame; returns a fresh cert exactly once."""
+        if blame.protocol != self.protocol_name:
+            raise VerificationError("blame for a different protocol")
+        if not self.validators.is_valid_replica(blame.blamer):
+            raise VerificationError(f"blame from unknown replica {blame.blamer}")
+        if not blame.verify(self.signer):
+            raise VerificationError(f"bad blame signature from {blame.blamer}")
+        bucket = self._blames.setdefault(blame.epoch, {})
+        if blame.blamer in bucket:
+            return None
+        bucket[blame.blamer] = blame
+        if len(bucket) == self.validators.quorum and blame.epoch not in self._blame_certs:
+            cert = BlameCertificate.from_blames(tuple(bucket.values()))
+            self._blame_certs[blame.epoch] = cert
+            return cert
+        return None
+
+    def verify_blame_cert(self, cert: BlameCertificate) -> bool:
+        return cert.protocol == self.protocol_name and cert.verify(
+            self.signer, self.validators.quorum
+        )
+
+    # -- commit helper ------------------------------------------------------------
+
+    def commit_through(self, block_hash: Digest) -> List[Block]:
+        """Commit every uncommitted ancestor up to ``block_hash``.
+
+        Blocks need payloads to commit; the caller must have ensured
+        availability.  Returns the newly committed blocks (may be empty if
+        already committed).
+        """
+        head_hash = self.ledger.head.block_hash
+        if self.ledger.is_committed(block_hash):
+            return []
+        headers = self.store.chain_between(block_hash, head_hash)
+        blocks = [self.store.block(h.block_hash) for h in headers]
+        self.ledger.commit_chain(blocks, self.now)
+        for block in blocks:
+            self.mempool.remove_committed(block.payload.transactions)
+            self.trace("commit", height=block.height, txs=len(block.payload))
+        return blocks

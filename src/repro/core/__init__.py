@@ -1,0 +1,5 @@
+"""AlterBFT — the paper's primary contribution."""
+
+from .protocol import ACTIVE, QUITTING, AlterBFTReplica
+
+__all__ = ["ACTIVE", "QUITTING", "AlterBFTReplica"]

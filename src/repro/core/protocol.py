@@ -1,0 +1,725 @@
+"""AlterBFT — hybrid-synchronous Byzantine fault-tolerant consensus.
+
+The protocol (reconstructed from the paper's model and claims; DESIGN.md
+documents the reconstruction) tolerates f Byzantine replicas out of
+n = 2f + 1 and applies its synchrony bound Δ **only to small messages**:
+
+* **headers** (proposal metadata committing to the payload), **votes**,
+  **blames**, **statuses** — all O(κ) bytes — are assumed Δ-timely;
+* **payloads** (the transactions) are only *eventually* timely.
+
+Steady state in epoch ``e`` with leader ``L``:
+
+1. ``L`` broadcasts a signed header for block ``B_k`` (small) and the
+   payload (large) as separate messages; the header carries a quorum
+   certificate for its parent.
+2. Every replica relays the first header it sees per (epoch, height), so
+   conflicting leader-signed proposals reach all honest replicas at most
+   Δ after any honest replica saw either one.
+3. A replica votes (broadcast, small) once it holds header *and* matching
+   payload and the header passes the chain rules below, then starts a
+   **2Δ commit window**.
+4. f + 1 votes certify the block.  When a replica's window elapses with
+   no equivocation for epoch ``e`` and no blame certificate for ``e``,
+   the certified block and its ancestors commit.
+5. No progress before the (adaptive) epoch timeout, a withheld payload,
+   or an equivocation proof ⇒ blame (small).  f + 1 blames form a blame
+   certificate: replicas quit the epoch, wait Δ for in-flight votes,
+   report status (highest QC) to the next leader, and the next leader
+   proposes extending the highest certificate it knows.
+
+Safety argument (Sync HotStuff-style, adapted to the header/payload
+split).  *Equivocation* is any pair of same-epoch leader-signed headers
+that cannot lie on one chain: same height/different hash, two distinct
+*anchors* (headers justified by pre-epoch certificates), or a broken
+parent link at adjacent heights.  Honest replicas vote along a single
+per-epoch chain whose anchor's justify must rank at least their
+certificate knowledge at epoch entry.  If an honest replica commits
+``B_k`` at time ``t``, it voted and relayed the header at ``t − 2Δ``, so
+any honest vote for a conflicting epoch-``e`` block either happened
+before ``t − Δ`` (its relayed header reaches the committer inside the
+window — commit aborted) or after the committer's relay arrived (the
+voter sees the conflict and refuses to vote).  Hence conflicting
+epoch-``e`` certificates cannot exist once someone commits, and the
+status exchange (votes are broadcast; quitting waits Δ) carries the
+committed block's certificate into every later epoch's anchor rule.
+
+Latency is ``payload dissemination + vote + 2Δ_small``, while a classical
+synchronous protocol pays ``2Δ_big`` with Δ_big bounding the *largest*
+message — the up-to-15× gap the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..consensus.pacemaker import Pacemaker
+from ..consensus.replica import BaseReplica
+from ..consensus.validators import ValidatorSet
+from ..config import ProtocolConfig
+from ..crypto.hashing import Digest
+from ..crypto.signatures import Signer
+from ..errors import BlockStoreError, VerificationError
+from ..mempool.mempool import Mempool
+from ..types.block import BlockHeader, BlockPayload, make_block
+from ..types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote, genesis_qc
+from ..types.messages import (
+    BlameCertMsg,
+    BlameMsg,
+    BlockRequestMsg,
+    BlockResponseMsg,
+    EquivocationProofMsg,
+    PayloadMsg,
+    PayloadRequestMsg,
+    PayloadResponseMsg,
+    ProposalHeaderMsg,
+    StatusMsg,
+    VoteMsg,
+)
+
+#: Replica participation state within the current epoch.
+ACTIVE = "active"
+QUITTING = "quitting"
+
+
+class AlterBFTReplica(BaseReplica):
+    """One AlterBFT replica (see module docstring for the protocol)."""
+
+    protocol_name = "alterbft"
+
+    HANDLERS = {
+        ProposalHeaderMsg: "on_proposal_header",
+        PayloadMsg: "on_payload",
+        VoteMsg: "on_vote",
+        BlameMsg: "on_blame",
+        BlameCertMsg: "on_blame_cert",
+        EquivocationProofMsg: "on_equivocation_proof",
+        StatusMsg: "on_status",
+        PayloadRequestMsg: "on_payload_request",
+        PayloadResponseMsg: "on_payload_response",
+        BlockRequestMsg: "on_block_request",
+        BlockResponseMsg: "on_block_response",
+    }
+
+    def __init__(
+        self,
+        replica_id: int,
+        validators: ValidatorSet,
+        config: ProtocolConfig,
+        signer: Signer,
+        mempool: Optional[Mempool] = None,
+    ) -> None:
+        super().__init__(replica_id, validators, config, signer, mempool)
+        self.epoch = 1
+        self.state = ACTIVE
+        self.high_qc: QuorumCertificate = genesis_qc(
+            self.protocol_name, self.store.genesis.block_hash
+        )
+        self.pacemaker: Optional[Pacemaker] = None
+        # Certificate knowledge at entry into the current epoch — the
+        # anchor rule compares against this, not the live high_qc.
+        self._entry_rank: Tuple[int, int] = self.high_qc.rank
+        # Per-epoch leader-signed proposals, for conflict detection:
+        # epoch → height → full proposal message.
+        self._epoch_headers: Dict[int, Dict[int, ProposalHeaderMsg]] = {}
+        # epoch → the anchor proposal (justify.epoch < epoch).
+        self._epoch_anchor: Dict[int, ProposalHeaderMsg] = {}
+        self._equivocated: Set[int] = set()
+        self._relayed: Set[Digest] = set()
+        # Voting: epoch → (height, hash) of the last block voted for.
+        self._last_voted: Dict[int, Tuple[int, Digest]] = {}
+        # Commit windows that elapsed cleanly, awaiting QC/payloads.
+        self._window_clean: Set[Tuple[int, Digest]] = set()
+        self._justify_of: Dict[Digest, QuorumCertificate] = {}
+        # Epoch change.
+        self._blamed_epochs: Set[int] = set()
+        self._processed_blame_certs: Set[int] = set()
+        self._proposed_in_epoch = False
+        # Leader pipeline: hash of the tip proposal awaiting certification.
+        self._awaiting_qc: Optional[Digest] = None
+        # Payload and ancestor repair.
+        self._payload_requested: Set[Digest] = set()
+        self._header_requested: Set[Digest] = set()
+        # Commit windows parked until a specific payload/header arrives —
+        # avoids rescanning the chain on every event while data is absent.
+        self._parked_on_payload: Dict[Digest, Set[Tuple[int, Digest]]] = {}
+        self._parked_on_header: Dict[Digest, Set[Tuple[int, Digest]]] = {}
+        # Every verified proposal message by block hash (serves chain sync).
+        self._header_msgs: Dict[Digest, ProposalHeaderMsg] = {}
+        # Buffered proposals from epochs we have not entered yet.
+        self._future_headers: List[Tuple[int, ProposalHeaderMsg]] = []
+        # Set when a certified chain conflicts with our committed chain —
+        # impossible for a correct protocol, reachable in the E10 safety
+        # ablations.  The replica halts consensus participation: anything
+        # it would do next could only deepen the fork.
+        self._fork_detected = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        assert self.ctx is not None
+        self.pacemaker = Pacemaker(
+            self.ctx,
+            base_timeout=self.config.epoch_timeout,
+            growth=self.config.epoch_timeout_growth,
+            on_timeout=self._on_epoch_timeout,
+        )
+        self.pacemaker.enter_epoch(self.epoch, made_progress=True)
+        if self.is_leader(self.epoch):
+            self._propose_block()
+
+    def _timer_pacemaker(self, payload: Any) -> None:
+        assert self.pacemaker is not None
+        self.pacemaker.handle_timer(payload)
+
+    def _timer_idle_propose(self, epoch: Any) -> None:
+        self._idle_timer_armed = False
+        if epoch == self.epoch and self._awaiting_qc is None:
+            self._propose_block(force=True)
+
+    # ------------------------------------------------------------------
+    # Proposing (leader)
+    # ------------------------------------------------------------------
+
+    def _propose_block(self, force: bool = False) -> None:
+        """Build and disseminate the next block extending ``high_qc``."""
+        if self.state != ACTIVE or not self.is_leader(self.epoch):
+            return
+        if not force and self.defer_if_idle(self.epoch):
+            return
+        justify = self.high_qc
+        batch = self.mempool.take_batch(self.config.max_batch, self.config.max_payload_bytes)
+        block = make_block(
+            epoch=self.epoch,
+            height=justify.height + 1,
+            parent=justify.block_hash,
+            transactions=batch,
+            proposer=self.replica_id,
+        )
+        header_msg = ProposalHeaderMsg(
+            header=block.header,
+            signature=self.sign_proposal(block.block_hash),
+            justify=justify,
+        )
+        payload_msg = PayloadMsg(
+            epoch=self.epoch,
+            height=block.height,
+            block_hash=block.block_hash,
+            payload=block.payload,
+        )
+        self._awaiting_qc = block.block_hash
+        self._proposed_in_epoch = True
+        self.trace("propose", epoch=self.epoch, height=block.height, txs=len(batch))
+        # Header first (small, Δ-timely), payload second (large).
+        self.broadcast(header_msg)
+        self.broadcast(payload_msg)
+
+    # ------------------------------------------------------------------
+    # Header handling: verification, conflict detection, relaying
+    # ------------------------------------------------------------------
+
+    def _verify_header_msg(self, msg: ProposalHeaderMsg) -> None:
+        """Structural and cryptographic checks; raises VerificationError."""
+        header = msg.header
+        if header.epoch < 1 or not self.validators.is_valid_replica(header.proposer):
+            raise VerificationError("malformed header epoch/proposer")
+        if header.proposer != self.validators.leader_of(header.epoch):
+            raise VerificationError(f"proposer {header.proposer} is not the epoch leader")
+        if not self.verify_proposal_signature(header.proposer, header.block_hash, msg.signature):
+            raise VerificationError("bad proposer signature on header")
+        if not self.verify_qc(msg.justify):
+            raise VerificationError("header carries an invalid justify certificate")
+        if msg.justify.block_hash != header.parent or header.height != msg.justify.height + 1:
+            raise VerificationError("header does not extend its justify certificate")
+        if msg.justify.epoch > header.epoch:
+            raise VerificationError("justify certificate from a future epoch")
+
+    def on_proposal_header(self, src: int, msg: ProposalHeaderMsg) -> None:
+        self._verify_header_msg(msg)
+        if msg.header.epoch > self.epoch:
+            # The blame certificate opening that epoch has not reached us
+            # yet; buffer and replay after catching up.
+            self._future_headers.append((msg.header.epoch, msg))
+            return
+        self._accept_header(msg)
+
+    def _accept_header(self, msg: ProposalHeaderMsg) -> None:
+        header = msg.header
+        # Store every leader-signed header regardless of conflicts: the
+        # block tree is content-addressed and must be able to serve the
+        # ancestry of whichever branch survives the epoch change.
+        first_time = self.store.add_header(header)
+        if first_time:
+            self._justify_of[header.block_hash] = msg.justify
+            self._header_msgs[header.block_hash] = msg
+            self._update_high_qc(msg.justify)
+            self._unpark(self._parked_on_header, header.block_hash)
+            # Arm payload repair in case the leader withholds the payload.
+            assert self.ctx is not None
+            self.ctx.set_timer(
+                2 * self.config.delta + 0.25 * self.config.epoch_timeout,
+                "payload_fetch",
+                header.block_hash,
+            )
+        conflict = self._find_conflict(msg)
+        if conflict is not None:
+            self._report_equivocation(conflict, msg)
+            return
+        heights = self._epoch_headers.setdefault(header.epoch, {})
+        if header.height not in heights:
+            heights[header.height] = msg
+            if msg.justify.epoch < header.epoch:
+                self._epoch_anchor.setdefault(header.epoch, msg)
+        if first_time and self.config.relay_headers and header.block_hash not in self._relayed:
+            # Relay so conflicts become visible to all honest replicas
+            # within Δ of the first honest receipt.
+            self._relayed.add(header.block_hash)
+            self._relay_proposal(msg)
+        self._maybe_vote_chain(header.epoch)
+
+    def _relay_proposal(self, msg: ProposalHeaderMsg) -> None:
+        """Re-broadcast a first-seen proposal (overridden by Sync HotStuff
+        to relay the full block, which is what its model requires)."""
+        self.broadcast(msg, include_self=False)
+
+    def _find_conflict(self, msg: ProposalHeaderMsg) -> Optional[ProposalHeaderMsg]:
+        """Return a recorded proposal that conflicts with ``msg``, if any.
+
+        Conflicts (same epoch, both leader-signed):
+          1. same height, different hash;
+          2. two distinct anchors (justify from an earlier epoch);
+          3. broken parent link at adjacent heights.
+        """
+        header = msg.header
+        epoch, height = header.epoch, header.height
+        heights = self._epoch_headers.get(epoch, {})
+        recorded = heights.get(height)
+        if recorded is not None and recorded.header.block_hash != header.block_hash:
+            return recorded
+        if msg.justify.epoch < epoch:
+            anchor = self._epoch_anchor.get(epoch)
+            if anchor is not None and anchor.header.block_hash != header.block_hash:
+                return anchor
+        else:  # justify.epoch == epoch: parent must be the epoch chain
+            below = heights.get(height - 1)
+            if below is not None and below.header.block_hash != header.parent:
+                return below
+        above = heights.get(height + 1)
+        if (
+            above is not None
+            and above.justify.epoch == epoch
+            and above.header.parent != header.block_hash
+        ):
+            return above
+        return None
+
+    def _report_equivocation(self, first: ProposalHeaderMsg, second: ProposalHeaderMsg) -> None:
+        epoch = first.header.epoch
+        if epoch in self._equivocated:
+            return
+        self._equivocated.add(epoch)
+        self.trace("equivocation_detected", epoch=epoch, leader=first.header.proposer)
+        self.broadcast(EquivocationProofMsg(first=first, second=second), include_self=False)
+        self._send_blame(epoch)
+
+    def on_equivocation_proof(self, src: int, msg: EquivocationProofMsg) -> None:
+        m1, m2 = msg.first, msg.second
+        h1, h2 = m1.header, m2.header
+        if h1.epoch != h2.epoch:
+            raise VerificationError("equivocation proof spans epochs")
+        self._verify_header_msg(m1)
+        self._verify_header_msg(m2)
+        if not self._proposals_conflict(m1, m2):
+            raise VerificationError("equivocation proof headers do not conflict")
+        if h1.epoch in self._equivocated:
+            return
+        self._equivocated.add(h1.epoch)
+        self.trace("equivocation_learned", epoch=h1.epoch)
+        self.broadcast(msg, include_self=False)
+        self._send_blame(h1.epoch)
+
+    @staticmethod
+    def _proposals_conflict(m1: ProposalHeaderMsg, m2: ProposalHeaderMsg) -> bool:
+        h1, h2 = m1.header, m2.header
+        if h1.block_hash == h2.block_hash:
+            return False
+        if h1.height == h2.height:
+            return True
+        if m1.justify.epoch < h1.epoch and m2.justify.epoch < h2.epoch:
+            return True  # two distinct anchors
+        low, high = (m1, m2) if h1.height < h2.height else (m2, m1)
+        return (
+            high.header.height == low.header.height + 1
+            and high.justify.epoch == high.header.epoch
+            and high.header.parent != low.header.block_hash
+        )
+
+    # ------------------------------------------------------------------
+    # Payload handling
+    # ------------------------------------------------------------------
+
+    def on_payload(self, src: int, msg: PayloadMsg) -> None:
+        self._store_payload(msg.block_hash, msg.payload)
+
+    def _store_payload(self, block_hash: Digest, payload: BlockPayload) -> None:
+        header = self.store.get_header(block_hash)
+        if header is not None and not self._payload_matches(header, payload):
+            raise VerificationError("payload does not match header commitment")
+        if not self.store.add_payload(block_hash, payload):
+            return
+        if header is not None:
+            self._maybe_vote_chain(header.epoch)
+        self._unpark(self._parked_on_payload, block_hash)
+        self._try_commit_ready()
+
+    @staticmethod
+    def _payload_matches(header: BlockHeader, payload: BlockPayload) -> bool:
+        return (
+            payload.merkle_root == header.payload_root and len(payload) == header.payload_count
+        )
+
+    def _timer_payload_fetch(self, block_hash: Digest) -> None:
+        """Repair path: ask peers for a payload the leader never delivered."""
+        if self.store.has_payload(block_hash) or block_hash in self._payload_requested:
+            return
+        header = self.store.get_header(block_hash)
+        if header is None:
+            return
+        self._payload_requested.add(block_hash)
+        self.trace("payload_fetch", height=header.height)
+        self.broadcast(
+            PayloadRequestMsg(block_hash=block_hash, height=header.height), include_self=False
+        )
+
+    def on_payload_request(self, src: int, msg: PayloadRequestMsg) -> None:
+        if self.store.has_payload(msg.block_hash):
+            self.send(
+                src,
+                PayloadResponseMsg(
+                    block_hash=msg.block_hash, payload=self.store.payload(msg.block_hash)
+                ),
+            )
+
+    def on_payload_response(self, src: int, msg: PayloadResponseMsg) -> None:
+        if self.store.get_header(msg.block_hash) is None:
+            return
+        self._store_payload(msg.block_hash, msg.payload)
+
+    # ------------------------------------------------------------------
+    # Voting and the 2Δ commit window
+    # ------------------------------------------------------------------
+
+    def _maybe_vote_chain(self, epoch: int) -> None:
+        """Vote for every consecutive eligible height (handles reordering)."""
+        while self._maybe_vote_once(epoch):
+            pass
+
+    def _maybe_vote_once(self, epoch: int) -> bool:
+        if self._fork_detected:
+            return False
+        if self.state != ACTIVE or epoch != self.epoch or epoch in self._equivocated:
+            return False
+        last = self._last_voted.get(epoch)
+        candidate = self._next_votable(epoch, last)
+        if candidate is None:
+            return False
+        header = candidate.header
+        if self.config.vote_requires_payload:
+            if not self.store.has_payload(header.block_hash):
+                return False
+            if not self._payload_matches(header, self.store.payload(header.block_hash)):
+                return False
+        self._last_voted[epoch] = (header.height, header.block_hash)
+        vote = Vote.create(
+            self.signer, self.protocol_name, header.epoch, header.height, header.block_hash
+        )
+        self.trace("vote", epoch=header.epoch, height=header.height)
+        self.broadcast(VoteMsg(vote=vote))
+        # Open the 2Δ equivocation-detection window.
+        assert self.ctx is not None
+        self.ctx.set_timer(2 * self.config.delta, "commit_wait", (header.epoch, header.block_hash))
+        return True
+
+    def _next_votable(
+        self, epoch: int, last: Optional[Tuple[int, Digest]]
+    ) -> Optional[ProposalHeaderMsg]:
+        """The lowest recorded proposal this replica may vote for next."""
+        heights = self._epoch_headers.get(epoch)
+        if not heights:
+            return None
+        if last is None:
+            # Anchor rule: the first vote of the epoch must extend a
+            # certificate at least as high as anything known at entry —
+            # or join the epoch's already-certified chain (an epoch-e
+            # justify embeds an honest anchor vote).
+            for height in sorted(heights):
+                msg = heights[height]
+                if msg.justify.epoch == epoch or msg.justify.rank >= self._entry_rank:
+                    return msg
+            return None
+        last_height, last_hash = last
+        msg = heights.get(last_height + 1)
+        if msg is not None and msg.header.parent == last_hash:
+            return msg
+        # Catch-up: the leader moved on without our vote; we may vote for
+        # any later proposal whose chain passes through our last vote.
+        for height in sorted(h for h in heights if h > last_height + 1):
+            candidate = heights[height]
+            if self.store.extends(candidate.header.parent, last_hash):
+                return candidate
+        return None
+
+    def on_vote(self, src: int, msg: VoteMsg) -> None:
+        qc = self.record_vote(msg.vote)
+        if qc is None:
+            return
+        self._update_high_qc(qc)
+        if self.pacemaker is not None and qc.epoch == self.epoch:
+            self.pacemaker.record_progress()
+        self._try_commit_ready()
+        # Leader pipeline: certify tip → propose the next block.
+        if (
+            self.state == ACTIVE
+            and self.is_leader(self.epoch)
+            and self._awaiting_qc == qc.block_hash
+        ):
+            self._awaiting_qc = None
+            self._propose_block()
+
+    def _update_high_qc(self, qc: QuorumCertificate) -> None:
+        if qc.rank > self.high_qc.rank:
+            self.high_qc = qc
+
+    def _timer_commit_wait(self, payload: Tuple[int, Digest]) -> None:
+        epoch, block_hash = payload
+        if epoch in self._equivocated or epoch in self._processed_blame_certs:
+            return
+        if self.epoch == epoch and self.state != ACTIVE:
+            return
+        self._window_clean.add((epoch, block_hash))
+        self._try_commit(epoch, block_hash)
+
+    def _try_commit_ready(self) -> None:
+        for epoch, block_hash in sorted(
+            self._window_clean,
+            key=lambda item: self.store.header(item[1]).height
+            if self.store.has_header(item[1])
+            else 0,
+        ):
+            self._try_commit(epoch, block_hash)
+
+    def _try_commit(self, epoch: int, block_hash: Digest) -> None:
+        """Commit ``block_hash`` and ancestors if certified and available."""
+        if (epoch, block_hash) not in self._window_clean:
+            return
+        if epoch in self._processed_blame_certs:
+            # Quit-epoch rule: pending windows of an abandoned epoch are
+            # cancelled; the block still commits later as an ancestor if
+            # its chain survives the epoch change.
+            self._window_clean.discard((epoch, block_hash))
+            return
+        if not self.store.has_header(block_hash):
+            return
+        if self.qc_for(0, epoch, block_hash) is None:
+            return
+        if self.ledger.is_committed(block_hash):
+            self._window_clean.discard((epoch, block_hash))
+            return
+        head_hash = self.ledger.head.block_hash
+        if self.store.header(block_hash).height <= self.ledger.height:
+            # A sibling chain's block below our committed height can never
+            # exist for an honest run; an already-superseded window is
+            # simply dropped.
+            self._window_clean.discard((epoch, block_hash))
+            return
+        try:
+            missing = self.store.missing_payloads(block_hash, head_hash)
+        except BlockStoreError:
+            status = self._ancestry_status(block_hash)
+            if status == "gap":
+                # Chain sync: fetch the first missing ancestor proposal and
+                # park the window until it arrives.
+                needed = self._request_missing_ancestor(block_hash)
+                if needed is not None:
+                    self._window_clean.discard((epoch, block_hash))
+                    self._parked_on_header.setdefault(needed, set()).add((epoch, block_hash))
+            elif status == "fork":
+                # The certified block conflicts with our committed chain.
+                # Unreachable for a correct protocol run; reachable in the
+                # E10 ablations — halt participation and leave the fork
+                # for the harness's cross-replica safety checker.
+                self.trace("fork_detected", height=self.store.header(block_hash).height)
+                self._fork_detected = True
+                self._window_clean.clear()
+                # Halt entirely: any further participation could only
+                # deepen the fork.  The ledger stays as evidence.
+                self.crashed = True
+                if self.pacemaker is not None:
+                    self.pacemaker.stop()
+            return  # ancestry gap; headers still in flight
+        if missing:
+            # Park the window on its missing payloads; it wakes when they
+            # arrive (or never, if a Byzantine leader withheld them and no
+            # honest replica has a copy — the blame path handles liveness).
+            self._window_clean.discard((epoch, block_hash))
+            for needed in missing:
+                self._parked_on_payload.setdefault(needed, set()).add((epoch, block_hash))
+                if needed not in self._payload_requested:
+                    self._payload_requested.add(needed)
+                    needed_header = self.store.get_header(needed)
+                    height = needed_header.height if needed_header else 0
+                    self.broadcast(
+                        PayloadRequestMsg(block_hash=needed, height=height), include_self=False
+                    )
+            return
+        self.commit_through(block_hash)
+        self._window_clean.discard((epoch, block_hash))
+
+    def _unpark(self, parked: Dict[Digest, Set[Tuple[int, Digest]]], key: Digest) -> None:
+        """Re-activate commit windows waiting on ``key`` and retry them."""
+        windows = parked.pop(key, None)
+        if not windows:
+            return
+        for window in windows:
+            self._window_clean.add(window)
+        for epoch, block_hash in sorted(
+            windows,
+            key=lambda w: self.store.header(w[1]).height if self.store.has_header(w[1]) else 0,
+        ):
+            self._try_commit(epoch, block_hash)
+
+    def _request_missing_ancestor(self, block_hash: Digest) -> Optional[Digest]:
+        """Ask peers for the first missing header below ``block_hash``.
+
+        Returns the missing block hash (whether or not a request was
+        actually sent this time), or None if there is no gap.
+        """
+        last = None
+        for header in self.store.walk_ancestors(block_hash):
+            last = header
+        if last is None or last.height == 0:
+            return None
+        missing = last.parent
+        if missing not in self._header_requested:
+            self._header_requested.add(missing)
+            self.trace("header_fetch", below_height=last.height)
+            self.broadcast(BlockRequestMsg(block_hash=missing), include_self=False)
+        return missing
+
+    def on_block_request(self, src: int, msg: BlockRequestMsg) -> None:
+        proposal = self._header_msgs.get(msg.block_hash)
+        if proposal is None:
+            return
+        payload = (
+            self.store.payload(msg.block_hash)
+            if self.store.has_payload(msg.block_hash)
+            else None
+        )
+        self.send(src, BlockResponseMsg(proposal=proposal, payload=payload))
+
+    def on_block_response(self, src: int, msg: BlockResponseMsg) -> None:
+        self._verify_header_msg(msg.proposal)
+        header = msg.proposal.header
+        if header.epoch > self.epoch:
+            self._future_headers.append((header.epoch, msg.proposal))
+        else:
+            self._accept_header(msg.proposal)
+        if msg.payload is not None:
+            self._store_payload(header.block_hash, msg.payload)
+        self._header_requested.discard(header.block_hash)
+        self._try_commit_ready()
+
+    def _ancestry_status(self, block_hash: Digest) -> str:
+        """Classify why a block's chain fails to reach the committed head:
+        "ok" (it does), "gap" (missing headers), or "fork"."""
+        target_height = self.ledger.height
+        head_hash = self.ledger.head.block_hash
+        for header in self.store.walk_ancestors(block_hash):
+            if header.height == target_height:
+                return "ok" if header.block_hash == head_hash else "fork"
+            if header.height < target_height:
+                return "fork"
+        return "gap"
+
+    # ------------------------------------------------------------------
+    # Blames and epoch change
+    # ------------------------------------------------------------------
+
+    def _on_epoch_timeout(self, epoch: int) -> None:
+        if epoch == self.epoch and self.state == ACTIVE:
+            self.trace("epoch_timeout", epoch=epoch)
+            self._send_blame(epoch)
+
+    def _send_blame(self, epoch: int) -> None:
+        if epoch in self._blamed_epochs or epoch < self.epoch:
+            return
+        self._blamed_epochs.add(epoch)
+        blame = Blame.create(self.signer, self.protocol_name, epoch)
+        self.broadcast(BlameMsg(blame=blame))
+
+    def on_blame(self, src: int, msg: BlameMsg) -> None:
+        cert = self.record_blame(msg.blame)
+        if cert is not None:
+            self._handle_blame_cert(cert)
+
+    def on_blame_cert(self, src: int, msg: BlameCertMsg) -> None:
+        if msg.cert.epoch in self._processed_blame_certs:
+            return
+        if not self.verify_blame_cert(msg.cert):
+            raise VerificationError("invalid blame certificate")
+        self._handle_blame_cert(msg.cert)
+
+    def _handle_blame_cert(self, cert: BlameCertificate) -> None:
+        if cert.epoch in self._processed_blame_certs or cert.epoch < self.epoch:
+            return
+        self._processed_blame_certs.add(cert.epoch)
+        self.trace("epoch_change", epoch=cert.epoch)
+        # Gossip the certificate so every honest replica quits within Δ.
+        self.broadcast(BlameCertMsg(cert=cert), include_self=False)
+        self.state = QUITTING
+        if self.pacemaker is not None:
+            self.pacemaker.stop()
+        # Quit wait: Δ for in-flight epoch votes to land everywhere.
+        assert self.ctx is not None
+        self.ctx.set_timer(self.config.delta, "enter_epoch", cert.epoch + 1)
+
+    def _timer_enter_epoch(self, new_epoch: int) -> None:
+        if new_epoch <= self.epoch:
+            return
+        self.epoch = new_epoch
+        self.state = ACTIVE
+        self._entry_rank = self.high_qc.rank
+        self._proposed_in_epoch = False
+        self._awaiting_qc = None
+        self.mempool.requeue_inflight()
+        assert self.pacemaker is not None
+        self.pacemaker.enter_epoch(new_epoch, made_progress=False)
+        leader = self.validators.leader_of(new_epoch)
+        status = StatusMsg(sender=self.replica_id, new_epoch=new_epoch, high_qc=self.high_qc)
+        if leader == self.replica_id:
+            # Give peers Δ to report their certificates before proposing.
+            assert self.ctx is not None
+            self.ctx.set_timer(self.config.delta, "new_epoch_propose", new_epoch)
+        else:
+            self.send(leader, status)
+        # Replay proposals that arrived early for this epoch.
+        pending, self._future_headers = self._future_headers, []
+        for epoch, msg in pending:
+            if epoch <= self.epoch:
+                self._accept_header(msg)
+            else:
+                self._future_headers.append((epoch, msg))
+
+    def on_status(self, src: int, msg: StatusMsg) -> None:
+        if not self.verify_qc(msg.high_qc):
+            raise VerificationError("status carries an invalid certificate")
+        self._update_high_qc(msg.high_qc)
+
+    def _timer_new_epoch_propose(self, epoch: int) -> None:
+        if epoch != self.epoch or self.state != ACTIVE or not self.is_leader(epoch):
+            return
+        if self._proposed_in_epoch:
+            return
+        self._propose_block()

@@ -1,0 +1,37 @@
+"""Cryptographic primitives: hashing, signatures, Merkle trees, keys."""
+
+from .hashing import DIGEST_SIZE, ZERO_DIGEST, Digest, domain_hash, sha256, sha256_many, short_hex
+from .keystore import build_cluster_keys, make_scheme
+from .merkle import MerkleProof, MerkleTree, merkle_root, verify_proof
+from .schnorr import SchnorrSignatureScheme
+from .signatures import (
+    SIGNATURE_SIZE,
+    HashSignatureScheme,
+    KeyPair,
+    KeyRegistry,
+    SignatureScheme,
+    Signer,
+)
+
+__all__ = [
+    "DIGEST_SIZE",
+    "ZERO_DIGEST",
+    "Digest",
+    "domain_hash",
+    "sha256",
+    "sha256_many",
+    "short_hex",
+    "build_cluster_keys",
+    "make_scheme",
+    "MerkleProof",
+    "MerkleTree",
+    "merkle_root",
+    "verify_proof",
+    "SchnorrSignatureScheme",
+    "SIGNATURE_SIZE",
+    "HashSignatureScheme",
+    "KeyPair",
+    "KeyRegistry",
+    "SignatureScheme",
+    "Signer",
+]

@@ -1,0 +1,49 @@
+"""Digest primitives.
+
+Everything in the library that names a block, transaction, or message by
+content uses :func:`sha256` from here, so the digest algorithm can be
+swapped in one place.  Digests are raw 32-byte ``bytes`` values; the
+:class:`Digest` alias exists for readability in signatures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+#: Type alias for a 32-byte SHA-256 digest.
+Digest = bytes
+
+#: Length in bytes of every digest produced by this module.
+DIGEST_SIZE = 32
+
+#: Digest of the empty string; used as the parent hash of genesis blocks.
+ZERO_DIGEST: Digest = b"\x00" * DIGEST_SIZE
+
+
+def sha256(data: bytes) -> Digest:
+    """Return the SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_many(parts: Iterable[bytes]) -> Digest:
+    """Digest the concatenation of ``parts`` without materializing it."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def domain_hash(domain: str, data: bytes) -> Digest:
+    """Domain-separated hash: ``H(len(domain) || domain || data)``.
+
+    Domain separation prevents a signature or digest computed for one
+    message type from being replayed as another type.
+    """
+    tag = domain.encode("utf-8")
+    return sha256_many((len(tag).to_bytes(2, "big"), tag, data))
+
+
+def short_hex(digest: Digest, length: int = 8) -> str:
+    """Human-readable prefix of a digest for logs and reprs."""
+    return digest.hex()[:length]

@@ -1,0 +1,101 @@
+"""Binary Merkle trees over transaction lists.
+
+Block headers commit to their payload with a Merkle root rather than a
+flat hash, so a replica can serve (and a light client can verify)
+individual transactions with logarithmic proofs.  The tree uses
+domain-separated leaf/node hashing to rule out second-preimage attacks
+that splice an interior node in as a leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import CryptoError
+from .hashing import Digest, sha256, ZERO_DIGEST
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _leaf_hash(data: bytes) -> Digest:
+    return sha256(_LEAF_PREFIX + data)
+
+
+def _node_hash(left: Digest, right: Digest) -> Digest:
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf.
+
+    Attributes:
+        index: leaf position in the original sequence.
+        path: sibling digests from leaf level to the root.  Each entry is
+            (sibling_digest, sibling_is_right).
+    """
+
+    index: int
+    path: Tuple[Tuple[Digest, bool], ...]
+
+
+class MerkleTree:
+    """Merkle tree built once over a sequence of byte strings."""
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        self._count = len(leaves)
+        if self._count == 0:
+            self._levels: List[List[Digest]] = [[ZERO_DIGEST]]
+            return
+        level = [_leaf_hash(leaf) for leaf in leaves]
+        levels = [level]
+        while len(level) > 1:
+            nxt: List[Digest] = []
+            for i in range(0, len(level), 2):
+                left = level[i]
+                right = level[i + 1] if i + 1 < len(level) else level[i]
+                nxt.append(_node_hash(left, right))
+            level = nxt
+            levels.append(level)
+        self._levels = levels
+
+    @property
+    def root(self) -> Digest:
+        """Root digest; ZERO_DIGEST for the empty tree."""
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def prove(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < self._count:
+            raise CryptoError(f"leaf index {index} out of range 0..{self._count - 1}")
+        path: List[Tuple[Digest, bool]] = []
+        pos = index
+        for level in self._levels[:-1]:
+            sibling_is_right = pos % 2 == 0
+            sibling_pos = pos + 1 if sibling_is_right else pos - 1
+            if sibling_pos >= len(level):
+                sibling_pos = pos  # odd node is paired with itself
+            path.append((level[sibling_pos], sibling_is_right))
+            pos //= 2
+        return MerkleProof(index=index, path=tuple(path))
+
+
+def merkle_root(leaves: Sequence[bytes]) -> Digest:
+    """Convenience: root of a fresh tree over ``leaves``."""
+    return MerkleTree(leaves).root
+
+
+def verify_proof(root: Digest, leaf: bytes, proof: MerkleProof) -> bool:
+    """Check an inclusion proof against a known root."""
+    digest = _leaf_hash(leaf)
+    for sibling, sibling_is_right in proof.path:
+        if sibling_is_right:
+            digest = _node_hash(digest, sibling)
+        else:
+            digest = _node_hash(sibling, digest)
+    return digest == root

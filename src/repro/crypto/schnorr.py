@@ -1,0 +1,199 @@
+"""Schnorr signatures over secp256k1, in pure Python.
+
+This provides *real*, transferable signatures for deployments on the real
+transport and for correctness tests, with no third-party dependencies.
+The implementation follows the BIP-340 style construction (x-only public
+keys are not used; we keep full compressed points for simplicity):
+
+    sign(sk, m):  k = H(sk || m) mod n ;  R = k*G
+                  e = H(R || P || m) mod n ;  s = k + e*sk mod n
+                  signature = (R.x_bytes || s_bytes)   (64 bytes)
+
+    verify(P, m, (R, s)):  s*G == R + e*P
+
+Deterministic nonces make signing reproducible, which the deterministic
+simulator relies on.  Performance is roughly a millisecond per operation
+on commodity hardware — fine for tests and small runs, too slow for large
+throughput sweeps, which use the hashsig scheme instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import CryptoError
+from .signatures import SIGNATURE_SIZE, KeyPair, SignatureScheme
+
+# secp256k1 domain parameters.
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+#: Point at infinity sentinel.
+INFINITY: Optional[Tuple[int, int]] = None
+
+
+def _inv_mod(a: int, m: int) -> int:
+    return pow(a, -1, m)
+
+
+def point_add(p1: Optional[Tuple[int, int]], p2: Optional[Tuple[int, int]]):
+    """Add two points on secp256k1 (affine coordinates)."""
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2 and (y1 + y2) % P == 0:
+        return None
+    if p1 == p2:
+        lam = (3 * x1 * x1) * _inv_mod(2 * y1, P) % P
+    else:
+        lam = (y2 - y1) * _inv_mod((x2 - x1) % P, P) % P
+    x3 = (lam * lam - x1 - x2) % P
+    y3 = (lam * (x1 - x3) - y1) % P
+    return (x3, y3)
+
+
+def point_mul(k: int, point: Optional[Tuple[int, int]] = None):
+    """Scalar multiplication via double-and-add."""
+    if point is None:
+        point = (GX, GY)
+    result = None
+    addend = point
+    k %= N
+    while k:
+        if k & 1:
+            result = point_add(result, addend)
+        addend = point_add(addend, addend)
+        k >>= 1
+    return result
+
+
+def is_on_curve(point: Optional[Tuple[int, int]]) -> bool:
+    """Check the secp256k1 curve equation y^2 = x^3 + 7 (mod p)."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - x * x * x - 7) % P == 0
+
+
+def encode_point(point: Tuple[int, int]) -> bytes:
+    """Compressed SEC1 encoding (33 bytes)."""
+    x, y = point
+    prefix = b"\x03" if y & 1 else b"\x02"
+    return prefix + x.to_bytes(32, "big")
+
+
+def decode_point(data: bytes) -> Tuple[int, int]:
+    """Decode a compressed SEC1 point; raises CryptoError if invalid."""
+    if len(data) != 33 or data[0] not in (2, 3):
+        raise CryptoError("malformed compressed point")
+    x = int.from_bytes(data[1:], "big")
+    if x >= P:
+        raise CryptoError("point x out of range")
+    y_sq = (pow(x, 3, P) + 7) % P
+    y = pow(y_sq, (P + 1) // 4, P)
+    if (y * y) % P != y_sq:
+        raise CryptoError("x is not on the curve")
+    if (y & 1) != (data[0] & 1):
+        y = P - y
+    return (x, y)
+
+
+def _hash_to_scalar(*parts: bytes) -> int:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return int.from_bytes(h.digest(), "big") % N
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """Decoded signature; ``r_point`` is the nonce commitment R."""
+
+    r_point: Tuple[int, int]
+    s: int
+
+    def encode(self) -> bytes:
+        rx, ry = self.r_point
+        parity = 1 if ry & 1 else 0
+        # 31-byte truncation would lose information; pack parity into s's
+        # top byte is unsafe.  Use 33-byte R and 31-byte... simpler: store
+        # R compressed (33) + s (31 high bytes would truncate).  Instead we
+        # use the full 64 bytes: R.x (32) with parity folded into s encoding.
+        return rx.to_bytes(32, "big") + ((self.s << 1) | parity).to_bytes(32, "big")
+
+    @staticmethod
+    def decode(data: bytes) -> "SchnorrSignature":
+        if len(data) != SIGNATURE_SIZE:
+            raise CryptoError("signature must be 64 bytes")
+        rx = int.from_bytes(data[:32], "big")
+        packed = int.from_bytes(data[32:], "big")
+        s = packed >> 1
+        parity = packed & 1
+        if rx >= P or s >= N:
+            raise CryptoError("signature component out of range")
+        y_sq = (pow(rx, 3, P) + 7) % P
+        ry = pow(y_sq, (P + 1) // 4, P)
+        if (ry * ry) % P != y_sq:
+            raise CryptoError("signature R not on curve")
+        if (ry & 1) != parity:
+            ry = P - ry
+        return SchnorrSignature((rx, ry), s)
+
+
+class SchnorrSignatureScheme(SignatureScheme):
+    """Real Schnorr signatures over secp256k1 (module docstring)."""
+
+    name = "schnorr"
+
+    def keygen(self, seed: bytes) -> KeyPair:
+        sk = _hash_to_scalar(b"schnorr-keygen", seed)
+        if sk == 0:
+            sk = 1
+        public_point = point_mul(sk)
+        assert public_point is not None
+        return KeyPair(public=encode_point(public_point), secret=sk.to_bytes(32, "big"))
+
+    def sign(self, secret: bytes, message: bytes) -> bytes:
+        sk = int.from_bytes(secret, "big")
+        if not 0 < sk < N:
+            raise CryptoError("secret key out of range")
+        k = _hash_to_scalar(b"schnorr-nonce", secret, message)
+        if k == 0:
+            k = 1
+        r_point = point_mul(k)
+        assert r_point is not None
+        public_point = point_mul(sk)
+        assert public_point is not None
+        e = _hash_to_scalar(encode_point(r_point), encode_point(public_point), message)
+        s = (k + e * sk) % N
+        # s must fit in 255 bits for the parity-packing in encode(); N is
+        # 256 bits so reduce by re-deriving with a tweaked nonce if needed.
+        attempt = 1
+        while s >> 255:
+            k = _hash_to_scalar(b"schnorr-nonce", secret, message, attempt.to_bytes(2, "big"))
+            if k == 0:
+                k = 1
+            r_point = point_mul(k)
+            assert r_point is not None
+            e = _hash_to_scalar(encode_point(r_point), encode_point(public_point), message)
+            s = (k + e * sk) % N
+            attempt += 1
+        return SchnorrSignature(r_point, s).encode()
+
+    def verify(self, public: bytes, message: bytes, signature: bytes) -> bool:
+        try:
+            sig = SchnorrSignature.decode(signature)
+            public_point = decode_point(public)
+        except CryptoError:
+            return False
+        e = _hash_to_scalar(encode_point(sig.r_point), public, message)
+        lhs = point_mul(sig.s)
+        rhs = point_add(sig.r_point, point_mul(e, public_point))
+        return lhs == rhs

@@ -1,0 +1,194 @@
+"""Signature scheme abstraction and the fast keyed-hash scheme.
+
+Two interchangeable schemes are provided:
+
+* :class:`HashSignatureScheme` — simulation-grade.  A signature is
+  ``HMAC-SHA256(secret_key, message)`` and the *public key* is a
+  commitment ``H(secret)``.  Verification requires the verifier to know the
+  signer's secret, which every simulated verifier does through the shared
+  :class:`KeyRegistry`.  This is NOT a real signature scheme (it is not
+  transferable outside the registry), but it is unforgeable against the
+  simulated adversary — who never reads honest registry entries — and it
+  is two orders of magnitude faster than any pure-Python public-key
+  scheme, which keeps throughput experiments tractable.  The substitution
+  is recorded in DESIGN.md.
+
+* :class:`SchnorrSignatureScheme` (in :mod:`repro.crypto.schnorr`) — a real
+  transferable Schnorr signature over secp256k1, used by correctness tests
+  and available for real-transport deployments.
+
+Both implement :class:`SignatureScheme`, so protocol code never knows
+which one it uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import CryptoError
+from .hashing import Digest, sha256
+
+#: Wire size of a signature, bytes.  Both schemes produce fixed-size
+#: signatures so message-size accounting is scheme-independent.
+SIGNATURE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing key pair.
+
+    Attributes:
+        public: public verification key bytes (scheme-specific encoding).
+        secret: secret signing key bytes.  Never serialized onto the wire.
+    """
+
+    public: bytes
+    secret: bytes
+
+
+class SignatureScheme:
+    """Interface implemented by every signature scheme.
+
+    Methods operate on raw bytes; callers are responsible for domain
+    separation (see :func:`repro.crypto.hashing.domain_hash`).
+    """
+
+    name = "abstract"
+
+    def keygen(self, seed: bytes) -> KeyPair:
+        """Derive a key pair deterministically from ``seed``."""
+        raise NotImplementedError
+
+    def sign(self, secret: bytes, message: bytes) -> bytes:
+        """Sign ``message``; returns a ``SIGNATURE_SIZE``-byte signature."""
+        raise NotImplementedError
+
+    def verify(self, public: bytes, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` is valid for ``message``."""
+        raise NotImplementedError
+
+
+class KeyRegistry:
+    """Maps replica ids to public keys (and, for hashsig, secrets).
+
+    One registry is shared by all replicas of a simulated cluster; it
+    plays the role of the PKI that a real deployment establishes out of
+    band.
+    """
+
+    def __init__(self) -> None:
+        self._public: Dict[int, bytes] = {}
+        self._secret: Dict[int, bytes] = {}
+
+    def register(self, replica_id: int, pair: KeyPair) -> None:
+        if replica_id in self._public:
+            raise CryptoError(f"replica {replica_id} already registered")
+        self._public[replica_id] = pair.public
+        self._secret[replica_id] = pair.secret
+
+    def public_key(self, replica_id: int) -> bytes:
+        try:
+            return self._public[replica_id]
+        except KeyError:
+            raise CryptoError(f"no public key for replica {replica_id}") from None
+
+    def _secret_key(self, replica_id: int) -> bytes:
+        """Internal: used only by HashSignatureScheme verification."""
+        try:
+            return self._secret[replica_id]
+        except KeyError:
+            raise CryptoError(f"no secret key for replica {replica_id}") from None
+
+    def known_ids(self):
+        return sorted(self._public)
+
+    def __contains__(self, replica_id: int) -> bool:
+        return replica_id in self._public
+
+    def __len__(self) -> int:
+        return len(self._public)
+
+
+class HashSignatureScheme(SignatureScheme):
+    """HMAC-based simulated signatures (see module docstring)."""
+
+    name = "hashsig"
+
+    def __init__(self, registry: Optional[KeyRegistry] = None) -> None:
+        self.registry = registry if registry is not None else KeyRegistry()
+
+    def keygen(self, seed: bytes) -> KeyPair:
+        secret = sha256(b"hashsig-secret" + seed)
+        public = sha256(b"hashsig-public" + secret)
+        return KeyPair(public=public, secret=secret)
+
+    def sign(self, secret: bytes, message: bytes) -> bytes:
+        mac = hmac.new(secret, message, hashlib.sha256).digest()
+        # Pad to the common SIGNATURE_SIZE so wire sizes match schnorr.
+        return mac + sha256(mac + message)
+
+    def verify(self, public: bytes, message: bytes, signature: bytes) -> bool:
+        if len(signature) != SIGNATURE_SIZE:
+            return False
+        secret = self._secret_for_public(public)
+        if secret is None:
+            return False
+        expected = self.sign(secret, message)
+        return hmac.compare_digest(expected, signature)
+
+    def _secret_for_public(self, public: bytes) -> Optional[bytes]:
+        for replica_id in self.registry.known_ids():
+            if self.registry.public_key(replica_id) == public:
+                return self.registry._secret_key(replica_id)
+        return None
+
+
+class Signer:
+    """Convenience wrapper binding a scheme, a registry, and one identity.
+
+    Protocol code holds a :class:`Signer` and calls :meth:`sign` /
+    :meth:`verify` with replica ids instead of raw keys.
+    """
+
+    def __init__(
+        self,
+        scheme: SignatureScheme,
+        registry: KeyRegistry,
+        replica_id: int,
+        pair: KeyPair,
+    ) -> None:
+        self.scheme = scheme
+        self.registry = registry
+        self.replica_id = replica_id
+        self._pair = pair
+
+    @property
+    def public_key(self) -> bytes:
+        return self._pair.public
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message`` under this replica's secret key."""
+        return self.scheme.sign(self._pair.secret, message)
+
+    def verify(self, signer_id: int, message: bytes, signature: bytes) -> bool:
+        """Verify a signature attributed to ``signer_id``."""
+        try:
+            public = self.registry.public_key(signer_id)
+        except CryptoError:
+            return False
+        return self.scheme.verify(public, message, signature)
+
+    def digest_and_sign(self, domain: str, message: bytes) -> bytes:
+        """Sign the domain-separated hash of ``message``."""
+        from .hashing import domain_hash
+
+        return self.sign(domain_hash(domain, message))
+
+    def verify_digest(self, signer_id: int, domain: str, message: bytes, signature: bytes) -> bool:
+        """Verify a signature produced by :meth:`digest_and_sign`."""
+        from .hashing import domain_hash
+
+        return self.verify(signer_id, domain_hash(domain, message), signature)

@@ -1,0 +1,5 @@
+"""Fault injection: crash and Byzantine behaviors for experiments."""
+
+from .behaviors import apply_behavior, parse_behavior
+
+__all__ = ["apply_behavior", "parse_behavior"]

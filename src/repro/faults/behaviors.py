@@ -1,0 +1,275 @@
+"""Byzantine and crash fault behaviors.
+
+A behavior is applied to a replica at cluster-assembly time by name.
+Names accept an optional ``@time`` suffix (e.g. ``crash@2.5``) for
+behaviors that trigger at a simulated instant.
+
+Available behaviors:
+
+* ``crash[@t]`` — the replica stops sending, receiving, and processing
+  timers at time ``t`` (default 0: never participates).
+* ``silent`` — Byzantine silence: processes everything, sends nothing.
+* ``equivocate`` — a Byzantine leader proposes two conflicting blocks at
+  every height it leads, sending each to half the cluster (AlterBFT and
+  Sync HotStuff; the header-relay mechanism is what catches this).
+* ``withhold_payload`` — an AlterBFT leader sends headers but withholds
+  payloads from everyone (exercises the payload-repair and blame paths).
+* ``delay_send`` — sends every message as late as the small-message bound
+  allows (the strongest *model-respecting* timing adversary).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..consensus.replica import BaseReplica
+from ..core.protocol import AlterBFTReplica
+from ..errors import ConfigError
+from ..net.simnet import SimNetwork
+from ..sim.scheduler import Scheduler
+from ..types.block import make_block
+from ..types.certificates import Vote
+from ..types.messages import PayloadMsg, ProposalHeaderMsg, SHProposalMsg, VoteMsg
+
+#: Behavior application signature.
+Behavior = Callable[[BaseReplica, SimNetwork, Scheduler], None]
+
+
+def parse_behavior(spec: str) -> Tuple[str, Optional[float]]:
+    """Split ``name@time`` into (name, time)."""
+    if "@" in spec:
+        name, _, when = spec.partition("@")
+        try:
+            return name, float(when)
+        except ValueError:
+            raise ConfigError(f"bad behavior time in {spec!r}") from None
+    return spec, None
+
+
+def apply_behavior(
+    spec: str, replica: BaseReplica, network: SimNetwork, scheduler: Scheduler
+) -> None:
+    """Apply the named behavior to ``replica``."""
+    name, when = parse_behavior(spec)
+    if name == "crash":
+        _apply_crash(replica, network, scheduler, when or 0.0)
+    elif name == "silent":
+        _apply_silent(replica)
+    elif name == "equivocate":
+        _apply_equivocate(replica)
+    elif name == "withhold_payload":
+        _apply_withhold_payload(replica)
+    elif name == "delay_send":
+        _apply_delay_send(replica, scheduler)
+    else:
+        raise ConfigError(f"unknown fault behavior {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Crash and silence
+# ----------------------------------------------------------------------
+
+
+def _apply_crash(
+    replica: BaseReplica, network: SimNetwork, scheduler: Scheduler, when: float
+) -> None:
+    def crash() -> None:
+        replica.crashed = True
+        network.take_down(replica.replica_id)
+
+    if when <= 0:
+        crash()
+    else:
+        scheduler.at(when, crash)
+
+
+def _apply_silent(replica: BaseReplica) -> None:
+    original_bind = replica.bind
+
+    def bind(ctx) -> None:  # type: ignore[no-untyped-def]
+        original_bind(_MutedContext(ctx))
+
+    replica.bind = bind  # type: ignore[method-assign]
+
+
+class _MutedContext:
+    """Context wrapper that swallows all outbound traffic."""
+
+    def __init__(self, inner) -> None:  # type: ignore[no-untyped-def]
+        self._inner = inner
+        self.node_id = inner.node_id
+        self.n = inner.n
+
+    @property
+    def now(self) -> float:
+        return self._inner.now
+
+    def send(self, dst: int, msg: object) -> None:
+        pass
+
+    def broadcast(self, msg: object, include_self: bool = True) -> None:
+        if include_self:
+            self._inner.send(self.node_id, msg)
+
+    def set_timer(self, delay: float, tag: str, payload=None):  # type: ignore[no-untyped-def]
+        return self._inner.set_timer(delay, tag, payload)
+
+    def trace(self, kind: str, **detail) -> None:  # type: ignore[no-untyped-def]
+        self._inner.trace(kind, **detail)
+
+
+# ----------------------------------------------------------------------
+# Equivocation
+# ----------------------------------------------------------------------
+
+
+def _apply_equivocate(replica: BaseReplica) -> None:
+    if not isinstance(replica, AlterBFTReplica):
+        raise ConfigError("equivocate behavior requires an AlterBFT-family replica")
+
+    def propose_twice(force: bool = False) -> None:
+        from ..core.protocol import ACTIVE
+
+        if replica.state != ACTIVE or not replica.is_leader(replica.epoch):
+            return
+        justify = replica.high_qc
+        batch = replica.mempool.take_batch(
+            replica.config.max_batch, replica.config.max_payload_bytes
+        )
+        variants = []
+        for marker in (b"\x00", b"\xff"):
+            from ..types.transaction import Transaction
+
+            poison = Transaction(
+                client_id=replica.replica_id, seq=-1, submitted_at=replica.now, payload=marker
+            )
+            variants.append(
+                make_block(
+                    epoch=replica.epoch,
+                    height=justify.height + 1,
+                    parent=justify.block_hash,
+                    transactions=tuple(batch) + (poison,),
+                    proposer=replica.replica_id,
+                )
+            )
+        block_a, block_b = variants
+        replica._proposed_in_epoch = True
+        half = (replica.validators.n + 1) // 2
+        combined = replica.protocol_name == "sync-hotstuff"
+        for dst in range(replica.validators.n):
+            if dst == replica.replica_id:
+                continue
+            block = block_a if dst < half else block_b
+            signature = replica.sign_proposal(block.block_hash)
+            if combined:
+                replica.send(
+                    dst, SHProposalMsg(block=block, signature=signature, justify=justify)
+                )
+            else:
+                replica.send(
+                    dst,
+                    ProposalHeaderMsg(header=block.header, signature=signature, justify=justify),
+                )
+                replica.send(
+                    dst,
+                    PayloadMsg(
+                        epoch=replica.epoch,
+                        height=block.height,
+                        block_hash=block.block_hash,
+                        payload=block.payload,
+                    ),
+                )
+            # The Byzantine leader also votes for "its" variant toward each
+            # group, so either variant can reach a quorum — the attack the
+            # header-relay + 2Δ window exists to stop (ablation E10).
+            vote = Vote.create(
+                replica.signer,
+                replica.protocol_name,
+                block.epoch,
+                block.height,
+                block.block_hash,
+            )
+            replica.send(dst, VoteMsg(vote=vote))
+        replica.trace("byz_equivocate", epoch=replica.epoch, height=justify.height + 1)
+
+    replica._propose_block = propose_twice  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------------
+# Payload withholding (AlterBFT-specific)
+# ----------------------------------------------------------------------
+
+
+def _apply_withhold_payload(replica: BaseReplica) -> None:
+    if not isinstance(replica, AlterBFTReplica):
+        raise ConfigError("withhold_payload behavior requires an AlterBFT replica")
+
+    def propose_header_only(force: bool = False) -> None:
+        from ..core.protocol import ACTIVE
+
+        if replica.state != ACTIVE or not replica.is_leader(replica.epoch):
+            return
+        justify = replica.high_qc
+        batch = replica.mempool.take_batch(
+            replica.config.max_batch, replica.config.max_payload_bytes
+        )
+        block = make_block(
+            epoch=replica.epoch,
+            height=justify.height + 1,
+            parent=justify.block_hash,
+            transactions=batch,
+            proposer=replica.replica_id,
+        )
+        header_msg = ProposalHeaderMsg(
+            header=block.header,
+            signature=replica.sign_proposal(block.block_hash),
+            justify=justify,
+        )
+        replica._proposed_in_epoch = True
+        replica.trace("byz_withhold", epoch=replica.epoch, height=block.height)
+        replica.broadcast(header_msg, include_self=False)
+        # The leader keeps the payload to itself; it also refuses to serve
+        # payload-repair requests (handled below).
+
+    def deny_payload_request(src: int, msg) -> None:  # type: ignore[no-untyped-def]
+        pass
+
+    replica._propose_block = propose_header_only  # type: ignore[method-assign]
+    replica.on_payload_request = deny_payload_request  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------------
+# Timing adversary
+# ----------------------------------------------------------------------
+
+
+def _apply_delay_send(replica: BaseReplica, scheduler: Scheduler) -> None:
+    original_bind = replica.bind
+    delay = replica.config.delta * 0.5  # hold each message half a Δ
+
+    class _DelayedContext:
+        def __init__(self, inner) -> None:  # type: ignore[no-untyped-def]
+            self._inner = inner
+            self.node_id = inner.node_id
+            self.n = inner.n
+
+        @property
+        def now(self) -> float:
+            return self._inner.now
+
+        def send(self, dst: int, msg: object) -> None:
+            scheduler.after(delay, self._inner.send, dst, msg)
+
+        def broadcast(self, msg: object, include_self: bool = True) -> None:
+            scheduler.after(delay, self._inner.broadcast, msg, include_self)
+
+        def set_timer(self, d: float, tag: str, payload=None):  # type: ignore[no-untyped-def]
+            return self._inner.set_timer(d, tag, payload)
+
+        def trace(self, kind: str, **detail) -> None:  # type: ignore[no-untyped-def]
+            self._inner.trace(kind, **detail)
+
+    def bind(ctx) -> None:  # type: ignore[no-untyped-def]
+        original_bind(_DelayedContext(ctx))
+
+    replica.bind = bind  # type: ignore[method-assign]

@@ -1,0 +1,28 @@
+"""Cloud delay measurement, statistics, and model calibration."""
+
+from .calibration import CalibrationReport, calibrate
+from .probe import (
+    DEFAULT_PROBE_SIZES,
+    ProbeNode,
+    ProbeResult,
+    run_probe_experiment,
+    sample_delay_model,
+    violation_rate,
+)
+from .stats import LatencySummary, cdf_points, mean, percentile, stddev
+
+__all__ = [
+    "CalibrationReport",
+    "calibrate",
+    "DEFAULT_PROBE_SIZES",
+    "ProbeNode",
+    "ProbeResult",
+    "run_probe_experiment",
+    "sample_delay_model",
+    "violation_rate",
+    "LatencySummary",
+    "cdf_points",
+    "mean",
+    "percentile",
+    "stddev",
+]

@@ -1,0 +1,139 @@
+"""Message-delay measurement — the paper's motivating experiment.
+
+The authors measured one-way delays between cloud VMs for messages of
+different sizes and observed the dichotomy that motivates hybrid
+synchrony.  We regenerate that dataset against the simulated substrate in
+two ways:
+
+* :func:`sample_delay_model` — draw directly from a
+  :class:`~repro.net.delay.DelayModel` (fast; used by benchmark E1/E2);
+* :class:`ProbeNode` pairs — actual processes exchanging
+  :class:`~repro.types.messages.ProbeMsg` over a :class:`SimNetwork`,
+  exercising encoding, egress serialization, and delivery end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..net.delay import DelayModel
+from ..net.simnet import SimNetwork
+from ..sim.rng import RngFactory
+from ..sim.scheduler import Scheduler
+from ..types.messages import ProbeAckMsg, ProbeMsg
+from .stats import LatencySummary
+
+#: Message sizes (bytes) swept by the characterization experiment,
+#: spanning the small-message regime to full blocks.
+DEFAULT_PROBE_SIZES = (128, 1024, 4096, 16384, 65536, 262144, 1048576, 2097152)
+
+
+def sample_delay_model(
+    model: DelayModel,
+    sizes: Sequence[int] = DEFAULT_PROBE_SIZES,
+    samples_per_size: int = 2000,
+    seed: int = 7,
+    src: int = 0,
+    dst: int = 1,
+) -> Dict[int, List[float]]:
+    """Draw one-way delay samples per message size (drops excluded)."""
+    rng = random.Random(seed)
+    out: Dict[int, List[float]] = {}
+    for size in sizes:
+        samples = []
+        while len(samples) < samples_per_size:
+            delay = model.sample(rng, src, dst, size)
+            if delay is not None:
+                samples.append(delay)
+        out[size] = samples
+    return out
+
+
+def violation_rate(samples: Sequence[float], bound: float) -> float:
+    """Fraction of delays exceeding a candidate synchrony bound."""
+    if not samples:
+        return 0.0
+    return sum(1 for s in samples if s > bound) / len(samples)
+
+
+@dataclass
+class ProbeResult:
+    """Delay samples measured end-to-end between two probe nodes."""
+
+    size: int
+    one_way: List[float]
+
+    def summary(self) -> LatencySummary:
+        return LatencySummary.from_samples(self.one_way)
+
+
+class ProbeNode:
+    """A process that answers probes and records received-probe delays."""
+
+    def __init__(self, node_id: int, network: SimNetwork, scheduler: Scheduler) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.scheduler = scheduler
+        self.received: List[Tuple[int, float]] = []  # (probe_id, one-way delay)
+        network.attach(node_id, self.handle)
+
+    def handle(self, src: int, msg: object) -> None:
+        if isinstance(msg, ProbeMsg):
+            delay = self.scheduler.now - msg.sent_at
+            self.received.append((msg.probe_id, delay))
+            self.network.send(
+                self.node_id,
+                src,
+                ProbeAckMsg(
+                    probe_id=msg.probe_id, sent_at=msg.sent_at, received_at=self.scheduler.now
+                ),
+            )
+
+    #: Approximate wire overhead of a ProbeMsg beyond its padding bytes
+    #: (struct framing, ids, timestamp).  Padding is shrunk by this much
+    #: so a probe's *wire* size matches its nominal size — important for
+    #: staying on the right side of the small-message threshold.
+    WIRE_OVERHEAD = 32
+
+    def send_probe(self, dst: int, probe_id: int, padding_size: int) -> None:
+        padding = max(0, padding_size - self.WIRE_OVERHEAD)
+        self.network.send(
+            self.node_id,
+            dst,
+            ProbeMsg(probe_id=probe_id, sent_at=self.scheduler.now, padding=b"x" * padding),
+        )
+
+
+def run_probe_experiment(
+    model: DelayModel,
+    sizes: Sequence[int] = DEFAULT_PROBE_SIZES,
+    probes_per_size: int = 200,
+    gap: float = 0.02,
+    seed: int = 7,
+) -> List[ProbeResult]:
+    """Measure one-way delays through the full simulated stack.
+
+    Probes are spaced ``gap`` seconds apart so egress serialization of one
+    probe does not queue behind the previous one — matching how the
+    paper's measurement agents pace their probes.
+    """
+    scheduler = Scheduler()
+    network = SimNetwork(scheduler, model, RngFactory(seed))
+    sender = ProbeNode(0, network, scheduler)
+    receiver = ProbeNode(1, network, scheduler)
+    probe_id = 0
+    when = 0.0
+    id_to_size: Dict[int, int] = {}
+    for size in sizes:
+        for _ in range(probes_per_size):
+            id_to_size[probe_id] = size
+            scheduler.at(when, sender.send_probe, 1, probe_id, size)
+            probe_id += 1
+            when += gap
+    scheduler.run()
+    by_size: Dict[int, List[float]] = {size: [] for size in sizes}
+    for pid, delay in receiver.received:
+        by_size[id_to_size[pid]].append(delay)
+    return [ProbeResult(size=size, one_way=by_size[size]) for size in sizes]

@@ -1,0 +1,6 @@
+"""Transaction pooling and workload generation."""
+
+from .mempool import Mempool, TxKey, tx_key
+from .workload import WorkloadGenerator
+
+__all__ = ["Mempool", "TxKey", "tx_key", "WorkloadGenerator"]

@@ -1,0 +1,117 @@
+"""Per-replica mempool.
+
+Holds client transactions until they are committed.  A leader *takes* a
+batch when proposing, which moves the transactions to an in-flight set so
+pipelined proposals never double-propose; an epoch change requeues
+whatever was in flight (the new leader will re-propose it).  Commits
+remove transactions wherever they are.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import MempoolError
+from ..types.transaction import Transaction
+
+#: Transactions are identified by (client_id, seq).
+TxKey = Tuple[int, int]
+
+
+def tx_key(tx: Transaction) -> TxKey:
+    return (tx.client_id, tx.seq)
+
+
+class Mempool:
+    """FIFO transaction pool with in-flight tracking."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise MempoolError("capacity must be positive")
+        self.capacity = capacity
+        self._pending: "OrderedDict[TxKey, Transaction]" = OrderedDict()
+        self._inflight: Dict[TxKey, Transaction] = {}
+        self._committed_keys: set = set()
+        #: Optional callback fired when the pool goes empty → non-empty
+        #: (lets an idle leader propose immediately on arrival).
+        self.wakeup = None
+
+    def add(self, tx: Transaction) -> bool:
+        """Queue a transaction; False if it is a duplicate or already done."""
+        key = tx_key(tx)
+        if key in self._pending or key in self._inflight or key in self._committed_keys:
+            return False
+        if len(self._pending) >= self.capacity:
+            raise MempoolError("mempool is full")
+        was_empty = not self._pending
+        self._pending[key] = tx
+        if was_empty and self.wakeup is not None:
+            self.wakeup()
+        return True
+
+    def take_batch(
+        self,
+        max_count: int,
+        max_bytes: int,
+        exclude: Optional[Iterable[TxKey]] = None,
+    ) -> Tuple[Transaction, ...]:
+        """Remove and return the next batch, bounded by count and bytes.
+
+        ``exclude`` skips transactions (leaving them pending) that are
+        already proposed in an uncommitted chain prefix — how protocols
+        with rotating leaders (HotStuff) avoid double-proposing.
+        """
+        excluded = set(exclude) if exclude is not None else ()
+        batch = []
+        taken_keys = []
+        total = 0
+        for key, tx in self._pending.items():
+            if len(batch) >= max_count:
+                break
+            if key in excluded:
+                continue
+            size = tx.size
+            if batch and total + size > max_bytes:
+                break
+            taken_keys.append(key)
+            batch.append(tx)
+            total += size
+        for key, tx in zip(taken_keys, batch):
+            del self._pending[key]
+            self._inflight[key] = tx
+        return tuple(batch)
+
+    def remove_committed(self, txs: Iterable[Transaction]) -> None:
+        """Drop committed transactions from pending and in-flight."""
+        for tx in txs:
+            key = tx_key(tx)
+            self._inflight.pop(key, None)
+            self._pending.pop(key, None)
+            self._committed_keys.add(key)
+
+    def requeue_inflight(self) -> int:
+        """Return in-flight transactions to the front of the queue.
+
+        Called on epoch change: proposals that may never commit get
+        re-proposed by the next leader.  Returns the number requeued.
+        """
+        if not self._inflight:
+            return 0
+        requeued = sorted(self._inflight.items())
+        self._inflight.clear()
+        fresh: "OrderedDict[TxKey, Transaction]" = OrderedDict(requeued)
+        fresh.update(self._pending)
+        self._pending = fresh
+        return len(requeued)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def __len__(self) -> int:
+        return len(self._pending) + len(self._inflight)

@@ -1,0 +1,17 @@
+"""Network substrate: delay models, topologies, simulated and real transports."""
+
+from .delay import DelayModel, HybridCloudDelayModel, UniformDelayModel, WanDelayModel
+from .simnet import LOOPBACK_DELAY, SimNetwork
+from .topology import Topology, single_az, three_regions
+
+__all__ = [
+    "DelayModel",
+    "HybridCloudDelayModel",
+    "UniformDelayModel",
+    "WanDelayModel",
+    "LOOPBACK_DELAY",
+    "SimNetwork",
+    "Topology",
+    "single_az",
+    "three_regions",
+]

@@ -1,0 +1,149 @@
+"""The simulated network.
+
+Connects node message handlers through the scheduler: ``send`` encodes the
+message (its real wire size feeds the delay model), samples a delay from
+the per-link RNG stream, and schedules delivery.  Supports partitions and
+per-message filters for fault experiments.
+
+Delivery hands the *original* message object to the receiver — the codec
+roundtrip is exercised by the real transport and by dedicated tests; the
+simulator avoids re-decoding for speed.  Encoded size, however, is always
+the genuine wire size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..codec import encode
+from ..errors import SimulationError
+from ..sim.rng import RngFactory
+from ..sim.scheduler import Scheduler
+from ..sim.tracing import Trace
+from .delay import DelayModel
+
+#: Handler signature: handler(src, msg).
+MessageHandler = Callable[[int, object], None]
+
+#: Filter signature: filter(src, dst, msg, size) -> deliver?  Filters are
+#: consulted in registration order; any False drops the message.
+MessageFilter = Callable[[int, int, object, int], bool]
+
+#: Delay a node's loopback messages experience (scheduling, not network).
+LOOPBACK_DELAY = 1e-6
+
+
+class SimNetwork:
+    """Message fabric for one simulated cluster."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        delay_model: DelayModel,
+        rng_factory: RngFactory,
+        trace: Optional[Trace] = None,
+        egress_bandwidth: Optional[float] = None,
+        priority_threshold: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.delay_model = delay_model
+        self.trace = trace if trace is not None else Trace()
+        self.egress_bandwidth = egress_bandwidth
+        #: Messages at or below this size bypass egress queueing — the
+        #: priority lane that justifies the hybrid model's small-message
+        #: bound even while the NIC streams a payload.
+        self.priority_threshold = priority_threshold
+        self._rng = rng_factory.stream("network")
+        self._handlers: Dict[int, MessageHandler] = {}
+        self._partition: Optional[Tuple[FrozenSet[int], ...]] = None
+        self._filters: List[MessageFilter] = []
+        self._down: set = set()
+        self._egress_free: Dict[int, float] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, node_id: int, handler: MessageHandler) -> None:
+        """Register the message handler for ``node_id``."""
+        if node_id in self._handlers:
+            raise SimulationError(f"node {node_id} already attached")
+        self._handlers[node_id] = handler
+
+    def nodes(self) -> List[int]:
+        return sorted(self._handlers)
+
+    # -- fault controls ----------------------------------------------------
+
+    def set_partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Partition nodes; messages across groups are dropped."""
+        self._partition = tuple(frozenset(g) for g in groups)
+
+    def heal_partition(self) -> None:
+        self._partition = None
+
+    def add_filter(self, fn: MessageFilter) -> None:
+        """Install a drop filter (fault injection hook)."""
+        self._filters.append(fn)
+
+    def take_down(self, node_id: int) -> None:
+        """Crash a node: it neither sends nor receives from now on."""
+        self._down.add(node_id)
+
+    def bring_up(self, node_id: int) -> None:
+        self._down.discard(node_id)
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, src: int, dst: int, msg: object) -> None:
+        """Send one message; wire size is the real encoded size."""
+        self._send_sized(src, dst, msg, len(encode(msg)))
+
+    def broadcast(self, src: int, msg: object, include_self: bool = True) -> None:
+        """Send ``msg`` to every attached node (encoding once)."""
+        size = len(encode(msg))
+        for dst in self.nodes():
+            if dst == src and not include_self:
+                continue
+            self._send_sized(src, dst, msg, size)
+
+    def _send_sized(self, src: int, dst: int, msg: object, size: int) -> None:
+        if src in self._down:
+            return
+        self.trace.count_message(src, type(msg).__name__, size)
+        if src == dst:
+            self.scheduler.after(LOOPBACK_DELAY, self._deliver, src, dst, msg)
+            return
+        if self._crosses_partition(src, dst):
+            self.trace.emit(self.scheduler.now, "msg_partitioned", src, dst=dst)
+            return
+        for fn in self._filters:
+            if not fn(src, dst, msg, size):
+                self.trace.emit(self.scheduler.now, "msg_filtered", src, dst=dst)
+                return
+        delay = self.delay_model.sample(self._rng, src, dst, size)
+        if delay is None:
+            self.trace.emit(self.scheduler.now, "msg_dropped", src, dst=dst)
+            return
+        departure = self.scheduler.now
+        if self.egress_bandwidth and size > self.priority_threshold:
+            # NIC egress serialization: copies of a broadcast queue behind
+            # one another at the sender.
+            start = max(self.scheduler.now, self._egress_free.get(src, 0.0))
+            departure = start + size / self.egress_bandwidth
+            self._egress_free[src] = departure
+        self.scheduler.at(departure + delay, self._deliver, src, dst, msg)
+
+    def _crosses_partition(self, src: int, dst: int) -> bool:
+        if self._partition is None:
+            return False
+        for group in self._partition:
+            if src in group:
+                return dst not in group
+        return True  # src in no group: isolated
+
+    def _deliver(self, src: int, dst: int, msg: object) -> None:
+        if dst in self._down:
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise SimulationError(f"message for unattached node {dst}")
+        handler(src, msg)

@@ -1,0 +1,35 @@
+"""Experiment harness: cluster assembly, execution, metrics, reports."""
+
+from .cluster import Cluster, build_cluster, check_safety, make_delay_model
+from .experiment import run_experiment, run_sweep, standard_protocol_config, summarize
+from .metrics import ExperimentResult, MetricsCollector
+from .registry import (
+    cluster_size_for,
+    protocol_names,
+    quorum_style_for,
+    replica_class_for,
+    validator_set_for,
+)
+from .report import format_table, markdown_table, results_table, speedup
+
+__all__ = [
+    "Cluster",
+    "build_cluster",
+    "check_safety",
+    "make_delay_model",
+    "run_experiment",
+    "run_sweep",
+    "standard_protocol_config",
+    "summarize",
+    "ExperimentResult",
+    "MetricsCollector",
+    "cluster_size_for",
+    "protocol_names",
+    "quorum_style_for",
+    "replica_class_for",
+    "validator_set_for",
+    "format_table",
+    "markdown_table",
+    "results_table",
+    "speedup",
+]

@@ -1,0 +1,126 @@
+"""``alterbft-bench`` — command-line front end.
+
+Subcommands:
+
+* ``run`` — one simulated experiment with explicit parameters.
+* ``suite`` — the paper's experiment suite (delegates to
+  :mod:`repro.bench`).
+* ``probe`` — the cloud delay characterization, printed as a table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..bench.suite import render_experiments_md, run_suite
+from ..config import ExperimentConfig, NetworkConfig, WorkloadConfig
+from ..measure.probe import DEFAULT_PROBE_SIZES, sample_delay_model
+from ..measure.stats import LatencySummary
+from ..net.delay import HybridCloudDelayModel
+from .experiment import run_experiment, standard_protocol_config
+from .registry import protocol_names
+from .report import format_table
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    network = NetworkConfig()
+    model = HybridCloudDelayModel(network)
+    pconf = standard_protocol_config(
+        args.protocol,
+        f=args.f,
+        delta_small=model.small_message_bound(),
+        delta_big=model.worst_case_bound(args.max_batch * (args.tx_size + 40)),
+        max_batch=args.max_batch,
+    )
+    config = ExperimentConfig(
+        protocol=args.protocol,
+        protocol_config=pconf,
+        network_config=network,
+        workload=WorkloadConfig(
+            rate=args.rate if args.rate > 0 else None,
+            duration=max(args.duration - args.warmup, 1.0),
+            tx_size=args.tx_size,
+        ),
+        seed=args.seed,
+        max_sim_time=args.duration,
+        warmup=args.warmup,
+        faults=tuple((int(i), b) for i, _, b in
+                     (s.partition(":") for s in args.fault)),
+    )
+    result = run_experiment(config)
+    print(format_table([result.row()]))
+    print(f"latency (ms): {result.latency.as_millis()}")
+    return 0 if result.safety_ok else 1
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    ids = tuple(x.strip() for x in args.only.split(",") if x.strip())
+    outputs = run_suite(fast=not args.full, ids=ids)
+    if args.write_md:
+        import pathlib
+
+        pathlib.Path(args.write_md).write_text(
+            render_experiments_md(outputs, fast=not args.full), encoding="utf-8"
+        )
+        print(f"wrote {args.write_md}")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    model = HybridCloudDelayModel(NetworkConfig())
+    samples = sample_delay_model(
+        model, sizes=DEFAULT_PROBE_SIZES, samples_per_size=args.samples
+    )
+    rows = []
+    for size in DEFAULT_PROBE_SIZES:
+        summary = LatencySummary.from_samples(samples[size])
+        row = {"size_B": size}
+        row.update({k: round(v, 3) for k, v in summary.as_millis().items() if k != "count"})
+        rows.append(row)
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="alterbft-bench")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulated experiment")
+    run_p.add_argument("protocol", choices=protocol_names())
+    run_p.add_argument("--f", type=int, default=1, help="fault budget")
+    run_p.add_argument("--rate", type=float, default=1000.0, help="offered tps (0 = saturation)")
+    run_p.add_argument("--tx-size", type=int, default=512)
+    run_p.add_argument("--max-batch", type=int, default=400)
+    run_p.add_argument("--duration", type=float, default=10.0)
+    run_p.add_argument("--warmup", type=float, default=1.0)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="ID:BEHAVIOR",
+        help="e.g. 1:crash@3.0 (repeatable)",
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    suite_p = sub.add_parser("suite", help="run the paper's experiment suite")
+    suite_p.add_argument("--full", action="store_true")
+    suite_p.add_argument("--only", default="")
+    suite_p.add_argument("--write-md", default="")
+    suite_p.set_defaults(func=_cmd_suite)
+
+    probe_p = sub.add_parser("probe", help="delay characterization table")
+    probe_p.add_argument("--samples", type=int, default=5000)
+    probe_p.set_defaults(func=_cmd_probe)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

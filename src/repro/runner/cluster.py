@@ -1,0 +1,173 @@
+"""Cluster assembly: wire replicas, network, workload, and metrics.
+
+:func:`build_cluster` turns an :class:`~repro.config.ExperimentConfig`
+into a ready-to-run simulated deployment; :func:`check_safety` validates
+post-run that every pair of honest ledgers agrees — the invariant the
+whole exercise is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from ..config import ExperimentConfig
+from ..consensus.context import SimContext
+from ..consensus.replica import BaseReplica
+from ..crypto.keystore import build_cluster_keys
+from ..faults.behaviors import apply_behavior
+from ..mempool.mempool import Mempool
+from ..mempool.workload import WorkloadGenerator
+from ..net.delay import DelayModel, HybridCloudDelayModel, WanDelayModel
+from ..net.simnet import SimNetwork
+from ..net.topology import single_az, three_regions
+from ..sim.rng import RngFactory
+from ..sim.scheduler import Scheduler
+from ..sim.tracing import Trace
+from .metrics import MetricsCollector
+from .registry import replica_class_for, validator_set_for
+
+#: How often saturation mode tops mempools up, seconds.  Together with
+#: the target below this must outpace the fastest pipeline (a block per
+#: ~4 ms at small payloads), or "saturation" throughput measures the
+#: generator instead of the protocol.
+SATURATION_TOPUP_PERIOD = 0.05
+
+
+@dataclass
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    config: ExperimentConfig
+    scheduler: Scheduler
+    network: SimNetwork
+    replicas: List[BaseReplica]
+    workload: WorkloadGenerator
+    collector: MetricsCollector
+    trace: Trace
+    honest_ids: Set[int] = field(default_factory=set)
+    delay_model: DelayModel = None  # type: ignore[assignment]
+
+    def start(self) -> None:
+        """Schedule protocol start and workload generation at t=0."""
+        for replica in self.replicas:
+            self.scheduler.at(0.0, replica.on_start)
+        self.scheduler.at(0.0, self.workload.start)
+        if self.config.workload.rate is None:
+            self._schedule_topup()
+
+    def _schedule_topup(self) -> None:
+        target = self.config.protocol_config.max_batch * 10
+
+        def topup() -> None:
+            for replica in self.replicas:
+                if replica.replica_id in self.honest_ids:
+                    self.workload.top_up(replica.mempool, target)
+            if self.scheduler.now < self.config.max_sim_time:
+                self.scheduler.after(SATURATION_TOPUP_PERIOD, topup)
+
+        self.scheduler.at(0.0, topup)
+
+    def run(self) -> None:
+        """Run the simulation to the configured horizon."""
+        self.scheduler.run(until=self.config.max_sim_time)
+
+
+def make_delay_model(config: ExperimentConfig) -> DelayModel:
+    """Instantiate the delay model for the experiment's topology."""
+    if config.topology == "three-regions":
+        return WanDelayModel(config.network_config, three_regions(config.protocol_config.n))
+    return HybridCloudDelayModel(config.network_config)
+
+
+def build_cluster(config: ExperimentConfig) -> Cluster:
+    """Assemble a simulated cluster from an experiment configuration."""
+    config.validate()
+    pconf = config.protocol_config
+    scheduler = Scheduler()
+    rng_factory = RngFactory(config.seed)
+    trace = Trace(record_events=config.record_trace)
+    delay_model = make_delay_model(config)
+    network = SimNetwork(
+        scheduler,
+        delay_model,
+        rng_factory,
+        trace,
+        egress_bandwidth=config.network_config.egress_bandwidth,
+        priority_threshold=config.network_config.small_threshold,
+    )
+
+    signers = build_cluster_keys(pconf.signature_scheme, pconf.n)
+    validators = validator_set_for(config.protocol, pconf.n, pconf.f)
+    replica_cls = replica_class_for(config.protocol)
+
+    faulty: Dict[int, str] = dict(config.faults)
+    honest_ids = {i for i in range(pconf.n) if i not in faulty}
+    collector = MetricsCollector(warmup=config.warmup, honest_ids=honest_ids)
+
+    replicas: List[BaseReplica] = []
+    for replica_id in range(pconf.n):
+        replica = replica_cls(
+            replica_id=replica_id,
+            validators=validators,
+            config=pconf,
+            signer=signers[replica_id],
+            mempool=Mempool(),
+        )
+        _instrument(replica, collector, scheduler)
+        if replica_id in faulty:
+            apply_behavior(faulty[replica_id], replica, network, scheduler)
+        ctx = SimContext(
+            node_id=replica_id,
+            n=pconf.n,
+            scheduler=scheduler,
+            network=network,
+            timer_callback=replica.on_timer,
+            trace_sink=trace,
+        )
+        replica.bind(ctx)
+        network.attach(replica_id, replica.handle)
+        replica.ledger.add_listener(collector.make_listener(replica_id))
+        replicas.append(replica)
+
+    workload = WorkloadGenerator(
+        scheduler=scheduler,
+        mempools=[r.mempool for r in replicas if r.replica_id in honest_ids],
+        config=config.workload,
+        rng_factory=rng_factory,
+    )
+    return Cluster(
+        config=config,
+        scheduler=scheduler,
+        network=network,
+        replicas=replicas,
+        workload=workload,
+        collector=collector,
+        trace=trace,
+        honest_ids=honest_ids,
+        delay_model=delay_model,
+    )
+
+
+def _instrument(replica: BaseReplica, collector: MetricsCollector, scheduler: Scheduler) -> None:
+    """Record proposal times through the sign_proposal choke point."""
+    original = replica.sign_proposal
+
+    def sign_and_note(block_hash: bytes) -> bytes:
+        collector.note_proposal(block_hash, scheduler.now)
+        return original(block_hash)
+
+    replica.sign_proposal = sign_and_note  # type: ignore[method-assign]
+
+
+def check_safety(replicas: Sequence[BaseReplica], honest_ids: Set[int]) -> bool:
+    """True iff all honest committed ledgers are prefix-consistent."""
+    ledgers = [r.ledger.all_hashes() for r in replicas if r.replica_id in honest_ids]
+    if not ledgers:
+        return True
+    max_height = max(len(chain) for chain in ledgers)
+    for height in range(max_height):
+        seen = {chain[height] for chain in ledgers if height < len(chain)}
+        if len(seen) > 1:
+            return False
+    return True

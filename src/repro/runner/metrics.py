@@ -1,0 +1,147 @@
+"""Experiment metrics collection.
+
+One :class:`MetricsCollector` observes commits on every replica.  A
+transaction counts as *committed* at the first time any honest replica
+commits it (the client-visible moment in the standard BFT benchmark
+methodology); block-level consensus latency is measured at the proposer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..measure.stats import LatencySummary
+from ..mempool.mempool import TxKey
+from ..types.block import Block
+
+
+@dataclass
+class CommitRecord:
+    """First-commit bookkeeping for one transaction."""
+
+    submitted_at: float
+    first_committed_at: float
+
+
+class MetricsCollector:
+    """Aggregates commit observations across a cluster."""
+
+    def __init__(self, warmup: float, honest_ids: Set[int]) -> None:
+        self.warmup = warmup
+        self.honest_ids = honest_ids
+        self._tx_commits: Dict[TxKey, CommitRecord] = {}
+        self._block_first_commit: Dict[bytes, float] = {}
+        self._block_proposed_at: Dict[bytes, float] = {}
+        self.commits_per_replica: Dict[int, int] = {}
+        self.last_commit_time = 0.0
+
+    def make_listener(self, replica_id: int):
+        """A ledger commit listener bound to one replica."""
+
+        def on_commit(block: Block, now: float) -> None:
+            self.observe_commit(replica_id, block, now)
+
+        return on_commit
+
+    def note_proposal(self, block_hash: bytes, now: float) -> None:
+        self._block_proposed_at.setdefault(block_hash, now)
+
+    def observe_commit(self, replica_id: int, block: Block, now: float) -> None:
+        if replica_id not in self.honest_ids:
+            return
+        self.commits_per_replica[replica_id] = self.commits_per_replica.get(replica_id, 0) + 1
+        self.last_commit_time = max(self.last_commit_time, now)
+        if block.block_hash not in self._block_first_commit:
+            self._block_first_commit[block.block_hash] = now
+        for tx in block.payload.transactions:
+            key = (tx.client_id, tx.seq)
+            record = self._tx_commits.get(key)
+            if record is None:
+                self._tx_commits[key] = CommitRecord(
+                    submitted_at=tx.submitted_at, first_committed_at=now
+                )
+
+    # -- extraction ---------------------------------------------------------
+
+    def tx_latencies(self, end_time: float) -> List[float]:
+        """Per-transaction commit latencies inside the measurement window."""
+        return [
+            r.first_committed_at - r.submitted_at
+            for r in self._tx_commits.values()
+            if r.submitted_at >= self.warmup and r.first_committed_at <= end_time
+        ]
+
+    def committed_tx_count(self, end_time: float) -> int:
+        return sum(
+            1
+            for r in self._tx_commits.values()
+            if self.warmup <= r.first_committed_at <= end_time
+        )
+
+    def block_latencies(self) -> List[float]:
+        """Propose→first-commit latency per block (proposer clock)."""
+        out = []
+        for block_hash, committed in self._block_first_commit.items():
+            proposed = self._block_proposed_at.get(block_hash)
+            if proposed is not None and proposed >= self.warmup:
+                out.append(committed - proposed)
+        return out
+
+    def committed_blocks(self) -> int:
+        return len(self._block_first_commit)
+
+    def max_commit_gap(self, start: float, end: float) -> float:
+        """Longest interval without any block commit inside [start, end].
+
+        The fault experiments report this as "service interruption": how
+        long clients waited while the cluster changed leaders.
+        """
+        times = sorted(t for t in self._block_first_commit.values() if start <= t <= end)
+        if not times:
+            return end - start
+        gaps = [times[0] - start]
+        gaps.extend(b - a for a, b in zip(times, times[1:]))
+        gaps.append(end - times[-1])
+        return max(gaps)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one simulated run reports."""
+
+    protocol: str
+    n: int
+    f: int
+    seed: int
+    duration: float
+    committed_txs: int
+    committed_blocks: int
+    throughput_tps: float
+    latency: LatencySummary
+    block_latency: LatencySummary
+    epoch_changes: int
+    messages: int
+    bytes_total: int
+    bytes_per_node: Dict[int, int]
+    safety_ok: bool
+    offered_rate: Optional[float] = None
+    extra: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for report tables."""
+        out: Dict[str, object] = {
+            "protocol": self.protocol,
+            "n": self.n,
+            "f": self.f,
+            "tput_tps": round(self.throughput_tps, 1),
+            "lat_p50_ms": round(self.latency.p50 * 1e3, 2),
+            "lat_mean_ms": round(self.latency.mean * 1e3, 2),
+            "lat_p99_ms": round(self.latency.p99 * 1e3, 2),
+            "blk_lat_p50_ms": round(self.block_latency.p50 * 1e3, 2),
+            "commits": self.committed_txs,
+            "epoch_changes": self.epoch_changes,
+            "safety_ok": self.safety_ok,
+        }
+        out.update(dict(self.extra))
+        return out

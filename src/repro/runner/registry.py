@@ -1,0 +1,58 @@
+"""Protocol registry: names → replica classes and resilience styles."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..baselines.hotstuff import HotStuffReplica
+from ..baselines.pbft import PBFTReplica
+from ..baselines.sync_hotstuff import SyncHotStuffReplica
+from ..consensus.replica import BaseReplica
+from ..consensus.validators import ValidatorSet
+from ..core.protocol import AlterBFTReplica
+from ..errors import ConfigError
+
+#: name → (replica class, quorum style).
+_REGISTRY: Dict[str, Tuple[Type[BaseReplica], str]] = {
+    "alterbft": (AlterBFTReplica, "2f+1"),
+    "sync-hotstuff": (SyncHotStuffReplica, "2f+1"),
+    "hotstuff": (HotStuffReplica, "3f+1"),
+    "pbft": (PBFTReplica, "3f+1"),
+}
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """All registered protocol names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def replica_class_for(protocol: str) -> Type[BaseReplica]:
+    try:
+        return _REGISTRY[protocol][0]
+    except KeyError:
+        raise ConfigError(f"unknown protocol {protocol!r}; known: {protocol_names()}") from None
+
+
+def quorum_style_for(protocol: str) -> str:
+    try:
+        return _REGISTRY[protocol][1]
+    except KeyError:
+        raise ConfigError(f"unknown protocol {protocol!r}; known: {protocol_names()}") from None
+
+
+def validator_set_for(protocol: str, n: int, f: int) -> ValidatorSet:
+    """Build the right validator set for a protocol's resilience style."""
+    style = quorum_style_for(protocol)
+    if style == "2f+1":
+        return ValidatorSet.synchronous(n, f)
+    return ValidatorSet.partially_synchronous(n, f)
+
+
+def cluster_size_for(protocol: str, f: int) -> int:
+    """Smallest cluster tolerating ``f`` faults under the protocol's model.
+
+    This is the paper's apples-to-apples comparison: at equal f, the
+    synchronous-model protocols need 2f+1 replicas, the partially
+    synchronous ones 3f+1.
+    """
+    return 2 * f + 1 if quorum_style_for(protocol) == "2f+1" else 3 * f + 1

@@ -1,0 +1,7 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from .rng import RngFactory, derive_seed
+from .scheduler import EventHandle, Scheduler
+from .tracing import Trace, TraceEvent
+
+__all__ = ["RngFactory", "derive_seed", "EventHandle", "Scheduler", "Trace", "TraceEvent"]

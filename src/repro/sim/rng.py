@@ -1,0 +1,34 @@
+"""Seeded random-number streams.
+
+Every stochastic component of a simulation (network delays per channel,
+workload arrivals, fault timing) draws from its own named stream derived
+from the master seed.  Adding a new consumer therefore never perturbs the
+draws seen by existing ones — runs stay comparable across code versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Stable 64-bit child seed for a named stream."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngFactory:
+    """Hands out independent named :class:`random.Random` streams."""
+
+    def __init__(self, master_seed: int) -> None:
+        self.master_seed = master_seed
+        self._streams: dict = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the (memoized) stream for ``name``."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.master_seed, name))
+            self._streams[name] = rng
+        return rng

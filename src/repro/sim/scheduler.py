@@ -1,0 +1,127 @@
+"""Deterministic discrete-event scheduler.
+
+The scheduler is a priority queue of timestamped callbacks.  Two events at
+the same timestamp fire in insertion order (a monotonic sequence number
+breaks ties), so a run is fully determined by its inputs — the property
+every reproducibility claim in this repository rests on.
+
+Time is a float in seconds and only ever moves forward.  Callbacks may
+schedule further events; exceptions propagate out of :meth:`Scheduler.run`
+so tests fail loudly instead of silently losing events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class EventHandle:
+    """Cancellation token for a scheduled event."""
+
+    __slots__ = ("time", "seq", "cancelled")
+
+    def __init__(self, time: float, seq: int) -> None:
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when its time comes."""
+        self.cancelled = True
+
+
+class Scheduler:
+    """The simulation event loop."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[Tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, now is {self._now:.6f}"
+            )
+        handle = EventHandle(time, next(self._seq))
+        heapq.heappush(self._queue, (time, handle.seq, handle, fn, args))
+        return handle
+
+    def after(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, fn, *args)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event; False when queue is empty."""
+        while self._queue:
+            time, _seq, handle, fn, args = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Drain events, optionally bounded by time, count, or predicate.
+
+        Args:
+            until: stop once the next event would be after this time
+                (the clock is advanced to ``until``).
+            max_events: stop after executing this many events.
+            stop_when: evaluated after each event; True stops the run.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            next_time = self._peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = max(self._now, until)
+                return
+            if self.step():
+                executed += 1
+                if stop_when is not None and stop_when():
+                    return
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue:
+            time, _seq, handle, _fn, _args = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return time
+        return None

@@ -1,0 +1,62 @@
+"""Lightweight simulation tracing and counters.
+
+A :class:`Trace` collects structured events (message sends, commits, epoch
+changes) and aggregate counters (bytes on the wire, message counts by
+class).  Recording individual events can be disabled for large runs while
+keeping counters, which cost almost nothing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    node: int
+    detail: Tuple[Tuple[str, Any], ...]
+
+
+class Trace:
+    """Event log plus counters for one simulation run."""
+
+    def __init__(self, record_events: bool = False) -> None:
+        self.record_events = record_events
+        self.events: List[TraceEvent] = []
+        self.counters: Counter = Counter()
+        self.bytes_sent_by_node: Counter = Counter()
+        self.messages_by_type: Counter = Counter()
+
+    def emit(self, time: float, kind: str, node: int, **detail: Any) -> None:
+        """Record an event (no-op unless ``record_events`` is set)."""
+        self.counters[kind] += 1
+        if self.record_events:
+            self.events.append(
+                TraceEvent(time=time, kind=kind, node=node, detail=tuple(sorted(detail.items())))
+            )
+
+    def count_message(self, sender: int, type_name: str, size: int) -> None:
+        """Account one wire message."""
+        self.counters["messages"] += 1
+        self.counters["bytes"] += size
+        self.bytes_sent_by_node[sender] += size
+        self.messages_by_type[type_name] += 1
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view used in experiment reports."""
+        return {
+            "messages": self.counters.get("messages", 0),
+            "bytes": self.counters.get("bytes", 0),
+            "by_type": dict(self.messages_by_type),
+            "counters": dict(self.counters),
+        }

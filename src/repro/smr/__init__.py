@@ -1,0 +1,18 @@
+"""State-machine replication: applications on top of consensus."""
+
+from .app import ExecutionEngine, StateMachine, decode_command, encode_command
+from .bank import Bank
+from .client import SimClient, attach_reply_senders, client_node_id
+from .kvstore import KVStore
+
+__all__ = [
+    "ExecutionEngine",
+    "StateMachine",
+    "decode_command",
+    "encode_command",
+    "Bank",
+    "SimClient",
+    "attach_reply_senders",
+    "client_node_id",
+    "KVStore",
+]

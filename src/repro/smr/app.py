@@ -1,0 +1,70 @@
+"""State-machine replication layer.
+
+Consensus orders opaque transactions; applications give them meaning.  A
+:class:`StateMachine` deterministically applies committed transactions;
+the :class:`ExecutionEngine` subscribes to a replica's ledger and feeds
+it committed blocks in order, recording per-transaction results.  Because
+every honest replica commits the same sequence, every replica's state
+machine ends in the same state — tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..codec import decode, encode
+from ..consensus.ledger import Ledger
+from ..errors import ReproError
+from ..types.block import Block
+from ..types.transaction import Transaction
+
+
+class StateMachine:
+    """Deterministic application state; commands are opaque bytes."""
+
+    def apply(self, command: bytes) -> bytes:
+        """Apply one committed command and return its result bytes."""
+        raise NotImplementedError
+
+    def snapshot(self) -> bytes:
+        """Serialize the full state (for state transfer and test equality)."""
+        raise NotImplementedError
+
+
+class ExecutionEngine:
+    """Applies committed blocks to a state machine, in commit order."""
+
+    def __init__(self, app: StateMachine) -> None:
+        self.app = app
+        self.executed_height = 0
+        self.results: Dict[Tuple[int, int], bytes] = {}
+
+    def attach(self, ledger: Ledger) -> None:
+        """Subscribe to a ledger's commits."""
+        ledger.add_listener(self._on_commit)
+
+    def _on_commit(self, block: Block, now: float) -> None:
+        if block.height != self.executed_height + 1:
+            raise ReproError(
+                f"execution gap: got height {block.height}, expected {self.executed_height + 1}"
+            )
+        for tx in block.payload.transactions:
+            result = self.app.apply(tx.payload)
+            self.results[(tx.client_id, tx.seq)] = result
+        self.executed_height = block.height
+
+    def result_of(self, client_id: int, seq: int) -> Optional[bytes]:
+        return self.results.get((client_id, seq))
+
+
+def encode_command(*parts: object) -> bytes:
+    """Encode an application command tuple into transaction payload bytes."""
+    return encode(tuple(parts))
+
+
+def decode_command(payload: bytes) -> Tuple[object, ...]:
+    """Inverse of :func:`encode_command`."""
+    value = decode(payload)
+    if not isinstance(value, tuple):
+        raise ReproError("malformed command payload")
+    return value

@@ -1,0 +1,74 @@
+"""A replicated bank — the classic BFT demo application.
+
+Commands:
+
+* ``("open", account, amount)`` → ``b"ok"`` / ``b"exists"``
+* ``("deposit", account, amount)`` → ``b"ok"`` / ``b"unknown"``
+* ``("transfer", src, dst, amount)`` → ``b"ok"`` / ``b"unknown"`` /
+  ``b"insufficient"``
+* ``("balance", account)`` → 8-byte big-endian balance, or ``b""``
+
+The bank preserves a conservation invariant (total balance only changes
+through ``open``/``deposit``), which the integration tests check across
+replicas after Byzantine runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..codec import encode
+from ..errors import ReproError
+from .app import StateMachine, decode_command
+
+
+class Bank(StateMachine):
+    """Deterministic account-balance state machine."""
+
+    def __init__(self) -> None:
+        self.balances: Dict[str, int] = {}
+
+    def apply(self, command: bytes) -> bytes:
+        parts = decode_command(command)
+        op = parts[0]
+        if op == "open":
+            _, account, amount = parts
+            if account in self.balances:
+                return b"exists"
+            if amount < 0:
+                raise ReproError("cannot open an account with negative balance")
+            self.balances[account] = amount
+            return b"ok"
+        if op == "deposit":
+            _, account, amount = parts
+            if account not in self.balances:
+                return b"unknown"
+            if amount < 0:
+                raise ReproError("negative deposit")
+            self.balances[account] += amount
+            return b"ok"
+        if op == "transfer":
+            _, src, dst, amount = parts
+            if src not in self.balances or dst not in self.balances:
+                return b"unknown"
+            if amount < 0:
+                raise ReproError("negative transfer")
+            if self.balances[src] < amount:
+                return b"insufficient"
+            self.balances[src] -= amount
+            self.balances[dst] += amount
+            return b"ok"
+        if op == "balance":
+            _, account = parts
+            if account not in self.balances:
+                return b""
+            return self.balances[account].to_bytes(8, "big")
+        raise ReproError(f"unknown bank op {op!r}")
+
+    @property
+    def total(self) -> int:
+        """Sum of all balances (the conservation invariant)."""
+        return sum(self.balances.values())
+
+    def snapshot(self) -> bytes:
+        return encode({k: v for k, v in self.balances.items()})

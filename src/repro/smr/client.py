@@ -1,0 +1,156 @@
+"""BFT client library.
+
+A correct BFT client cannot trust any single replica: it submits its
+transaction to all of them and accepts the outcome once **f + 1
+replicas** report the same commit — at least one of those is honest.
+:class:`SimClient` implements that protocol as a first-class simulated
+node (attached to the same :class:`~repro.net.simnet.SimNetwork` as the
+replicas), including retransmission on timeout.
+
+Replica-side support is transport-agnostic: :func:`attach_reply_senders`
+installs a ledger listener on each replica that sends a
+:class:`~repro.types.messages.ClientReplyMsg` to the issuing client's
+node for every committed transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..consensus.replica import BaseReplica
+from ..net.simnet import SimNetwork
+from ..sim.scheduler import Scheduler
+from ..types.block import Block
+from ..types.messages import ClientReplyMsg
+from ..types.transaction import Transaction
+
+
+@dataclass
+class PendingRequest:
+    """Client-side bookkeeping for one submitted transaction."""
+
+    transaction: Transaction
+    submitted_at: float
+    repliers: Set[int] = field(default_factory=set)
+    confirmed_at: Optional[float] = None
+    retransmissions: int = 0
+
+
+def client_node_id(n_replicas: int, client_id: int) -> int:
+    """Network node id hosting a client (clients live above the replicas)."""
+    return n_replicas + client_id
+
+
+def attach_reply_senders(
+    replicas: Sequence[BaseReplica], network: SimNetwork, n_replicas: int
+) -> None:
+    """Make every replica notify clients of commits (simulation wiring)."""
+    for replica in replicas:
+
+        def on_commit(block: Block, now: float, replica=replica) -> None:
+            for tx in block.payload.transactions:
+                reply = ClientReplyMsg(
+                    client_id=tx.client_id, seq=tx.seq, committed_at=now, result=None
+                )
+                network.send(
+                    replica.replica_id, client_node_id(n_replicas, tx.client_id), reply
+                )
+
+        replica.ledger.add_listener(on_commit)
+
+
+class SimClient:
+    """A closed-loop BFT client on the simulated network.
+
+    Args:
+        client_id: logical client identity (stamped into transactions).
+        n_replicas: cluster size (replicas occupy node ids 0..n-1).
+        quorum: replies needed to confirm (f + 1).
+        retransmit_timeout: resubmit the request if unconfirmed for this
+            long (covers leader failures and drops).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        n_replicas: int,
+        quorum: int,
+        network: SimNetwork,
+        scheduler: Scheduler,
+        mempools: Sequence,
+        tx_size: int = 128,
+        retransmit_timeout: float = 2.0,
+    ) -> None:
+        self.client_id = client_id
+        self.n_replicas = n_replicas
+        self.quorum = quorum
+        self.network = network
+        self.scheduler = scheduler
+        self.mempools = list(mempools)
+        self.tx_size = tx_size
+        self.retransmit_timeout = retransmit_timeout
+        self.node_id = client_node_id(n_replicas, client_id)
+        self._next_seq = 0
+        self.requests: Dict[int, PendingRequest] = {}
+        network.attach(self.node_id, self._on_message)
+
+    # -- submitting ------------------------------------------------------------
+
+    def submit(self, payload: Optional[bytes] = None) -> int:
+        """Submit one transaction; returns its sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        body = payload if payload is not None else b"\x00" * self.tx_size
+        tx = Transaction(
+            client_id=self.client_id, seq=seq, submitted_at=self.scheduler.now, payload=body
+        )
+        self.requests[seq] = PendingRequest(transaction=tx, submitted_at=self.scheduler.now)
+        self._deliver_to_replicas(tx)
+        self.scheduler.after(self.retransmit_timeout, self._maybe_retransmit, seq)
+        return seq
+
+    def _deliver_to_replicas(self, tx: Transaction) -> None:
+        # In the simulation, submission feeds the replicas' mempools
+        # directly (the real transport ships ("client-tx", tx) frames).
+        for pool in self.mempools:
+            pool.add(tx)
+
+    def _maybe_retransmit(self, seq: int) -> None:
+        request = self.requests.get(seq)
+        if request is None or request.confirmed_at is not None:
+            return
+        request.retransmissions += 1
+        self._deliver_to_replicas(request.transaction)
+        self.scheduler.after(self.retransmit_timeout, self._maybe_retransmit, seq)
+
+    # -- replies ------------------------------------------------------------
+
+    def _on_message(self, src: int, msg: object) -> None:
+        if not isinstance(msg, ClientReplyMsg) or msg.client_id != self.client_id:
+            return
+        request = self.requests.get(msg.seq)
+        if request is None:
+            return
+        request.repliers.add(src)
+        if request.confirmed_at is None and len(request.repliers) >= self.quorum:
+            request.confirmed_at = self.scheduler.now
+
+    # -- results ------------------------------------------------------------
+
+    def confirmed(self, seq: int) -> bool:
+        request = self.requests.get(seq)
+        return request is not None and request.confirmed_at is not None
+
+    def confirmation_latency(self, seq: int) -> Optional[float]:
+        request = self.requests.get(seq)
+        if request is None or request.confirmed_at is None:
+            return None
+        return request.confirmed_at - request.submitted_at
+
+    def confirmation_latencies(self) -> List[float]:
+        return [
+            r.confirmed_at - r.submitted_at
+            for r in self.requests.values()
+            if r.confirmed_at is not None
+        ]

@@ -1,0 +1,54 @@
+"""A replicated key-value store on top of consensus.
+
+Commands (see :func:`repro.smr.app.encode_command`):
+
+* ``("set", key, value)`` → ``b"ok"``
+* ``("get", key)`` → the value, or ``b""`` when absent
+* ``("del", key)`` → ``b"ok"`` / ``b"missing"``
+* ``("cas", key, expected, value)`` → ``b"ok"`` / ``b"conflict"``
+
+Keys are strings, values bytes.  This is the application used by the
+``kvstore_cluster`` example and the cross-replica determinism tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..codec import encode
+from ..errors import ReproError
+from .app import StateMachine, decode_command
+
+
+class KVStore(StateMachine):
+    """Deterministic in-memory key-value state machine."""
+
+    def __init__(self) -> None:
+        self.data: Dict[str, bytes] = {}
+
+    def apply(self, command: bytes) -> bytes:
+        parts = decode_command(command)
+        op = parts[0]
+        if op == "set":
+            _, key, value = parts
+            self.data[key] = value
+            return b"ok"
+        if op == "get":
+            _, key = parts
+            return self.data.get(key, b"")
+        if op == "del":
+            _, key = parts
+            return b"ok" if self.data.pop(key, None) is not None else b"missing"
+        if op == "cas":
+            _, key, expected, value = parts
+            if self.data.get(key, b"") == expected:
+                self.data[key] = value
+                return b"ok"
+            return b"conflict"
+        raise ReproError(f"unknown kvstore op {op!r}")
+
+    def snapshot(self) -> bytes:
+        return encode({k: v for k, v in self.data.items()})
+
+    def __len__(self) -> int:
+        return len(self.data)

@@ -1,0 +1,44 @@
+"""Core data types: transactions, blocks, certificates, wire messages."""
+
+from .block import (
+    Block,
+    BlockHeader,
+    BlockPayload,
+    EMPTY_PAYLOAD,
+    GENESIS_EPOCH,
+    GENESIS_HEIGHT,
+    genesis_block,
+    make_block,
+)
+from .certificates import (
+    Blame,
+    BlameCertificate,
+    QuorumCertificate,
+    Vote,
+    blame_signing_bytes,
+    genesis_qc,
+    is_genesis_qc,
+    vote_signing_bytes,
+)
+from .transaction import Transaction, make_transaction
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "BlockPayload",
+    "EMPTY_PAYLOAD",
+    "GENESIS_EPOCH",
+    "GENESIS_HEIGHT",
+    "genesis_block",
+    "make_block",
+    "Blame",
+    "BlameCertificate",
+    "QuorumCertificate",
+    "Vote",
+    "blame_signing_bytes",
+    "genesis_qc",
+    "is_genesis_qc",
+    "vote_signing_bytes",
+    "Transaction",
+    "make_transaction",
+]

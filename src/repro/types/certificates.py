@@ -1,0 +1,218 @@
+"""Votes, quorum certificates, and blame certificates.
+
+Certificates are *self-certifying*: they carry the signatures that prove
+them, so any replica can verify one without trusting the relayer.  The
+same structures serve all four protocols; only the quorum size differs
+(f+1 under n=2f+1 synchrony, 2f+1 under n=3f+1 partial synchrony).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..codec import encode, register
+from ..crypto.hashing import Digest, short_hex
+from ..crypto.signatures import Signer
+
+#: Signing domain for votes (shared across protocols; the phase field
+#: separates multi-phase protocols like PBFT/HotStuff).
+VOTE_DOMAIN = "vote"
+
+#: Signing domain for blames.
+BLAME_DOMAIN = "blame"
+
+
+def vote_signing_bytes(protocol: str, phase: int, epoch: int, height: int, block_hash: Digest) -> bytes:
+    """Canonical bytes a vote signature covers.
+
+    Including the protocol name prevents cross-protocol replay when two
+    protocols share a key registry inside one test process.
+    """
+    return encode((protocol, phase, epoch, height, block_hash))
+
+
+def blame_signing_bytes(protocol: str, epoch: int) -> bytes:
+    """Canonical bytes a blame signature covers."""
+    return encode((protocol, epoch))
+
+
+@register(14)
+@dataclass(frozen=True)
+class Vote:
+    """A signed vote for a block hash in an epoch/phase.
+
+    Attributes:
+        protocol: short protocol name the vote belongs to.
+        phase: protocol-specific phase number (0 for single-phase votes).
+        epoch: epoch/view of the vote.
+        height: height of the voted block.
+        block_hash: digest of the voted block's header.
+        voter: replica id of the signer.
+        signature: signature over :func:`vote_signing_bytes`.
+    """
+
+    protocol: str
+    phase: int
+    epoch: int
+    height: int
+    block_hash: Digest
+    voter: int
+    signature: bytes
+
+    @staticmethod
+    def create(
+        signer: Signer,
+        protocol: str,
+        epoch: int,
+        height: int,
+        block_hash: Digest,
+        phase: int = 0,
+    ) -> "Vote":
+        message = vote_signing_bytes(protocol, phase, epoch, height, block_hash)
+        return Vote(
+            protocol=protocol,
+            phase=phase,
+            epoch=epoch,
+            height=height,
+            block_hash=block_hash,
+            voter=signer.replica_id,
+            signature=signer.digest_and_sign(VOTE_DOMAIN, message),
+        )
+
+    def verify(self, signer: Signer) -> bool:
+        """Check the signature (``signer`` supplies the key registry)."""
+        message = vote_signing_bytes(self.protocol, self.phase, self.epoch, self.height, self.block_hash)
+        return signer.verify_digest(self.voter, VOTE_DOMAIN, message, self.signature)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Vote({self.protocol}/p{self.phase} e={self.epoch} h={self.height} "
+            f"{short_hex(self.block_hash)} by {self.voter})"
+        )
+
+
+@register(15)
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """A quorum of votes for one block in one epoch/phase.
+
+    Certificates are ranked lexicographically by ``(epoch, height)``; the
+    chain-selection and locking rules of every protocol here compare
+    certificates by that rank.
+    """
+
+    protocol: str
+    phase: int
+    epoch: int
+    height: int
+    block_hash: Digest
+    votes: Tuple[Tuple[int, bytes], ...]  # (voter id, signature), voter-sorted
+
+    @property
+    def rank(self) -> Tuple[int, int]:
+        """Ordering key: (epoch, height)."""
+        return (self.epoch, self.height)
+
+    @staticmethod
+    def from_votes(votes: Tuple[Vote, ...]) -> "QuorumCertificate":
+        """Aggregate votes (which must agree on all vote fields)."""
+        first = votes[0]
+        assert all(
+            (v.protocol, v.phase, v.epoch, v.height, v.block_hash)
+            == (first.protocol, first.phase, first.epoch, first.height, first.block_hash)
+            for v in votes
+        ), "cannot aggregate divergent votes"
+        pairs = tuple(sorted((v.voter, v.signature) for v in votes))
+        return QuorumCertificate(
+            protocol=first.protocol,
+            phase=first.phase,
+            epoch=first.epoch,
+            height=first.height,
+            block_hash=first.block_hash,
+            votes=pairs,
+        )
+
+    def verify(self, signer: Signer, quorum: int) -> bool:
+        """Check quorum size, voter distinctness, and every signature."""
+        voters = [voter for voter, _ in self.votes]
+        if len(set(voters)) != len(voters) or len(voters) < quorum:
+            return False
+        message = vote_signing_bytes(self.protocol, self.phase, self.epoch, self.height, self.block_hash)
+        return all(
+            signer.verify_digest(voter, VOTE_DOMAIN, message, sig) for voter, sig in self.votes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QC({self.protocol}/p{self.phase} e={self.epoch} h={self.height} "
+            f"{short_hex(self.block_hash)} x{len(self.votes)})"
+        )
+
+
+def genesis_qc(protocol: str, block_hash: Digest) -> QuorumCertificate:
+    """The distinguished empty certificate for the genesis block.
+
+    It has rank ``(0, 0)``, below every real certificate, and is accepted
+    without signatures by convention.
+    """
+    return QuorumCertificate(
+        protocol=protocol, phase=0, epoch=0, height=0, block_hash=block_hash, votes=()
+    )
+
+
+def is_genesis_qc(qc: QuorumCertificate) -> bool:
+    """True for the distinguished genesis certificate."""
+    return qc.epoch == 0 and qc.height == 0 and not qc.votes
+
+
+@register(16)
+@dataclass(frozen=True)
+class Blame:
+    """A signed statement that epoch ``epoch``'s leader failed."""
+
+    protocol: str
+    epoch: int
+    blamer: int
+    signature: bytes
+
+    @staticmethod
+    def create(signer: Signer, protocol: str, epoch: int) -> "Blame":
+        message = blame_signing_bytes(protocol, epoch)
+        return Blame(
+            protocol=protocol,
+            epoch=epoch,
+            blamer=signer.replica_id,
+            signature=signer.digest_and_sign(BLAME_DOMAIN, message),
+        )
+
+    def verify(self, signer: Signer) -> bool:
+        message = blame_signing_bytes(self.protocol, self.epoch)
+        return signer.verify_digest(self.blamer, BLAME_DOMAIN, message, self.signature)
+
+
+@register(17)
+@dataclass(frozen=True)
+class BlameCertificate:
+    """f+1 blames proving epoch ``epoch`` must be abandoned."""
+
+    protocol: str
+    epoch: int
+    blames: Tuple[Tuple[int, bytes], ...]  # (blamer id, signature), sorted
+
+    @staticmethod
+    def from_blames(blames: Tuple[Blame, ...]) -> "BlameCertificate":
+        first = blames[0]
+        assert all((b.protocol, b.epoch) == (first.protocol, first.epoch) for b in blames)
+        pairs = tuple(sorted((b.blamer, b.signature) for b in blames))
+        return BlameCertificate(protocol=first.protocol, epoch=first.epoch, blames=pairs)
+
+    def verify(self, signer: Signer, quorum: int) -> bool:
+        blamers = [blamer for blamer, _ in self.blames]
+        if len(set(blamers)) != len(blamers) or len(blamers) < quorum:
+            return False
+        message = blame_signing_bytes(self.protocol, self.epoch)
+        return all(
+            signer.verify_digest(blamer, BLAME_DOMAIN, message, sig)
+            for blamer, sig in self.blames
+        )

@@ -1,0 +1,338 @@
+"""Every wire message exchanged by the protocols.
+
+Messages are registered dataclasses (see :mod:`repro.codec`), so their
+wire size — which drives the hybrid synchronous delay model — is their
+genuine encoded size.  Type-id allocation:
+
+* 10–19  core data types (transaction, block, certificates)
+* 20–39  AlterBFT / shared consensus messages
+* 40–59  Sync HotStuff
+* 60–79  HotStuff
+* 80–99  PBFT
+* 100+   measurement probes and client traffic
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..codec import register
+from ..crypto.hashing import Digest
+from .block import Block, BlockHeader, BlockPayload
+from .certificates import Blame, BlameCertificate, QuorumCertificate, Vote
+
+#: Signing domain for proposal headers/blocks (the proposer's signature).
+PROPOSAL_DOMAIN = "proposal"
+
+
+# --------------------------------------------------------------------------
+# AlterBFT / shared messages
+# --------------------------------------------------------------------------
+
+
+@register(20)
+@dataclass(frozen=True)
+class ProposalHeaderMsg:
+    """AlterBFT proposal header — a *small* message.
+
+    Carried separately from the payload so the synchrony bound applies to
+    it.  Replicas relay the first header they see for each (epoch, height)
+    so that leader equivocation becomes visible to all honest replicas
+    within Δ.
+
+    Attributes:
+        header: the block header being proposed.
+        signature: proposer's signature over the header hash.
+        justify: certificate for the parent block this header extends.
+    """
+
+    header: BlockHeader
+    signature: bytes
+    justify: QuorumCertificate
+
+
+@register(21)
+@dataclass(frozen=True)
+class PayloadMsg:
+    """AlterBFT block payload — a *large* message, eventually timely."""
+
+    epoch: int
+    height: int
+    block_hash: Digest
+    payload: BlockPayload
+
+
+@register(23)
+@dataclass(frozen=True)
+class VoteMsg:
+    """A vote, broadcast (AlterBFT/Sync HotStuff) or sent to the leader."""
+
+    vote: Vote
+
+
+@register(24)
+@dataclass(frozen=True)
+class BlameMsg:
+    """A signed blame against the current epoch's leader."""
+
+    blame: Blame
+
+
+@register(25)
+@dataclass(frozen=True)
+class BlameCertMsg:
+    """A blame certificate; receiving one forces an epoch change."""
+
+    cert: BlameCertificate
+
+
+@register(26)
+@dataclass(frozen=True)
+class EquivocationProofMsg:
+    """Two conflicting proposals signed by one leader — transferable proof.
+
+    Two headers from the same epoch *conflict* when they cannot lie on a
+    single chain: same height with different hashes, two distinct epoch
+    anchors (both justified by pre-epoch certificates), or adjacent
+    heights whose parent link is broken.  Any replica holding this proof
+    can convince every other replica the leader is Byzantine, regardless
+    of timing.  Full proposal messages are carried so the verifier can
+    check the justify certificates that define anchors.
+    """
+
+    first: "ProposalHeaderMsg"
+    second: "ProposalHeaderMsg"
+
+
+@register(27)
+@dataclass(frozen=True)
+class StatusMsg:
+    """Epoch-change status report: the sender's highest certificate."""
+
+    sender: int
+    new_epoch: int
+    high_qc: QuorumCertificate
+
+
+@register(28)
+@dataclass(frozen=True)
+class PayloadRequestMsg:
+    """Ask a peer for the payload of a known header (repair path)."""
+
+    block_hash: Digest
+    height: int
+
+
+@register(29)
+@dataclass(frozen=True)
+class PayloadResponseMsg:
+    """Answer to :class:`PayloadRequestMsg`."""
+
+    block_hash: Digest
+    payload: BlockPayload
+
+
+@register(30)
+@dataclass(frozen=True)
+class BlockRequestMsg:
+    """Ask a peer for a missing ancestor *proposal* (header + justify).
+
+    The chain-sync repair path: used when a replica discovers a gap in
+    the ancestry of a certified block (e.g. it missed a proposal while
+    partitioned).
+    """
+
+    block_hash: Digest
+
+
+@register(31)
+@dataclass(frozen=True)
+class BlockResponseMsg:
+    """Answer to :class:`BlockRequestMsg`: the original proposal message,
+    plus the payload when the responder has it."""
+
+    proposal: "ProposalHeaderMsg"
+    payload: Optional[BlockPayload]
+
+
+# --------------------------------------------------------------------------
+# Sync HotStuff
+# --------------------------------------------------------------------------
+
+
+@register(40)
+@dataclass(frozen=True)
+class SHProposalMsg:
+    """Sync HotStuff proposal: the *entire block* in one message.
+
+    This is the message whose worst-case delay the classical synchronous
+    model must bound, which is why Sync HotStuff's Δ must be large.
+    """
+
+    block: Block
+    signature: bytes
+    justify: QuorumCertificate
+
+
+# --------------------------------------------------------------------------
+# HotStuff (partially synchronous, chained)
+# --------------------------------------------------------------------------
+
+
+@register(60)
+@dataclass(frozen=True)
+class HSProposalMsg:
+    """Chained HotStuff proposal for one view."""
+
+    block: Block
+    signature: bytes
+    justify: QuorumCertificate
+
+
+@register(61)
+@dataclass(frozen=True)
+class HSNewViewMsg:
+    """Timeout/new-view message carrying the sender's highest QC."""
+
+    sender: int
+    view: int
+    high_qc: QuorumCertificate
+    signature: bytes
+
+
+# --------------------------------------------------------------------------
+# PBFT
+# --------------------------------------------------------------------------
+
+
+@register(80)
+@dataclass(frozen=True)
+class PBFTPrePrepareMsg:
+    """Leader's ordering proposal for sequence number ``seq``."""
+
+    view: int
+    seq: int
+    block: Block
+    signature: bytes
+
+
+@register(81)
+@dataclass(frozen=True)
+class PBFTPrepareMsg:
+    """Prepare-phase vote (phase 1)."""
+
+    vote: Vote
+
+
+@register(82)
+@dataclass(frozen=True)
+class PBFTCommitMsg:
+    """Commit-phase vote (phase 2)."""
+
+    vote: Vote
+
+
+@register(83)
+@dataclass(frozen=True)
+class PBFTViewChangeMsg:
+    """View-change request carrying prepared-but-uncommitted evidence.
+
+    Attributes:
+        sender: requesting replica.
+        new_view: the view being moved to.
+        last_committed: sender's last committed sequence number.
+        commit_proof: phase-2 certificate proving ``last_committed`` really
+            committed (None only when ``last_committed`` is 0) — this is
+            the checkpoint proof that lets the new view start above it.
+        prepared: tuple of (seq, prepare-QC, block) for every sequence the
+            sender prepared above ``last_committed``.
+        signature: sender's signature over (new_view, last_committed).
+    """
+
+    sender: int
+    new_view: int
+    last_committed: int
+    commit_proof: Optional[QuorumCertificate]
+    prepared: Tuple[Tuple[int, QuorumCertificate, Block], ...]
+    signature: bytes
+
+
+@register(84)
+@dataclass(frozen=True)
+class PBFTNewViewMsg:
+    """New leader's view installation.
+
+    Carries the 2f+1 view-change messages; every replica deterministically
+    derives the same re-proposals from them, so the leader does not need
+    to (and cannot convincingly) pick different ones.
+    """
+
+    new_view: int
+    view_changes: Tuple[PBFTViewChangeMsg, ...]
+    signature: bytes
+
+
+@register(85)
+@dataclass(frozen=True)
+class PBFTSyncRequestMsg:
+    """State transfer: ask for committed blocks above ``from_height``."""
+
+    from_height: int
+
+
+@register(86)
+@dataclass(frozen=True)
+class PBFTSyncReplyMsg:
+    """State transfer reply: (block, commit certificate) pairs in order."""
+
+    entries: Tuple[Tuple[Block, QuorumCertificate], ...]
+
+
+# --------------------------------------------------------------------------
+# Measurement and client traffic
+# --------------------------------------------------------------------------
+
+
+@register(100)
+@dataclass(frozen=True)
+class ProbeMsg:
+    """One-way delay probe of a configurable size."""
+
+    probe_id: int
+    sent_at: float
+    padding: bytes
+
+
+@register(101)
+@dataclass(frozen=True)
+class ProbeAckMsg:
+    """Acknowledgment carrying both timestamps for RTT estimation."""
+
+    probe_id: int
+    sent_at: float
+    received_at: float
+
+
+@register(102)
+@dataclass(frozen=True)
+class ClientRequestMsg:
+    """A client transaction submitted to a replica's mempool."""
+
+    transaction: "object"  # Transaction; typed loosely to avoid import cycle
+
+
+@register(103)
+@dataclass(frozen=True)
+class ClientReplyMsg:
+    """Commit notification sent back to a client."""
+
+    client_id: int
+    seq: int
+    committed_at: float
+    result: Optional[bytes]
+
+
+def proposal_signing_bytes(block_hash: Digest) -> bytes:
+    """Bytes a proposer signs when proposing a header or block."""
+    return block_hash

@@ -1,0 +1,55 @@
+"""Client transactions.
+
+A transaction is an opaque payload stamped with the issuing client's id, a
+per-client sequence number, and the submission timestamp.  The timestamp
+is what the experiment harness uses to measure end-to-end commit latency;
+consensus itself never interprets it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..codec import encode, register
+from ..crypto.hashing import Digest, domain_hash
+
+
+@register(10)
+@dataclass(frozen=True)
+class Transaction:
+    """One client transaction.
+
+    Attributes:
+        client_id: issuing client identity.
+        seq: per-client sequence number (client_id, seq) is unique.
+        submitted_at: client-side submission time, seconds.
+        payload: opaque application bytes (e.g. a serialized KV command).
+    """
+
+    client_id: int
+    seq: int
+    submitted_at: float
+    payload: bytes
+
+    def encoded(self) -> bytes:
+        """Canonical wire encoding of this transaction."""
+        return encode(self)
+
+    @property
+    def tx_id(self) -> Digest:
+        """Content digest identifying this transaction."""
+        return domain_hash("tx", self.encoded())
+
+    @property
+    def size(self) -> int:
+        """Approximate wire size, bytes."""
+        return len(self.encoded())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tx(client={self.client_id}, seq={self.seq}, {len(self.payload)}B)"
+
+
+def make_transaction(client_id: int, seq: int, now: float, payload_size: int) -> Transaction:
+    """Build a synthetic transaction with a deterministic filler payload."""
+    filler = (client_id % 251).to_bytes(1, "big") * max(payload_size, 1)
+    return Transaction(client_id=client_id, seq=seq, submitted_at=now, payload=filler)

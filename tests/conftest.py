@@ -1,0 +1,138 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import pytest
+
+from repro.config import ExperimentConfig, NetworkConfig, ProtocolConfig, WorkloadConfig
+from repro.consensus.validators import ValidatorSet
+from repro.crypto.keystore import build_cluster_keys
+from repro.runner.experiment import standard_protocol_config
+
+
+@pytest.fixture
+def signers3():
+    """Three registered hashsig signers (ids 0, 1, 2)."""
+    return build_cluster_keys("hashsig", 3)
+
+
+@pytest.fixture
+def signers4():
+    """Four registered hashsig signers (ids 0..3)."""
+    return build_cluster_keys("hashsig", 4)
+
+
+@pytest.fixture
+def validators3():
+    return ValidatorSet.synchronous(3, 1)
+
+
+class FakeTimer:
+    """Timer handle recorded by :class:`FakeContext`."""
+
+    def __init__(self, fire_at: float, tag: str, payload: Any) -> None:
+        self.fire_at = fire_at
+        self.tag = tag
+        self.payload = payload
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class FakeContext:
+    """Deterministic in-memory Context capturing sends and timers.
+
+    Drives a single replica in unit tests without a network or scheduler:
+    ``sent`` collects (dst, msg), ``broadcasts`` collects msgs, timers are
+    fired manually via :meth:`fire_timer`.
+    """
+
+    def __init__(self, node_id: int = 0, n: int = 3) -> None:
+        self.node_id = node_id
+        self.n = n
+        self._now = 0.0
+        self.sent: List[Tuple[int, object]] = []
+        self.broadcasts: List[object] = []
+        self.timers: List[FakeTimer] = []
+        self.replica = None  # set by bind_replica
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        self._now += dt
+
+    def send(self, dst: int, msg: object) -> None:
+        self.sent.append((dst, msg))
+
+    def broadcast(self, msg: object, include_self: bool = True) -> None:
+        self.broadcasts.append(msg)
+        if include_self and self.replica is not None:
+            self.replica.handle(self.node_id, msg)
+
+    def set_timer(self, delay: float, tag: str, payload: Any = None) -> FakeTimer:
+        timer = FakeTimer(self._now + delay, tag, payload)
+        self.timers.append(timer)
+        return timer
+
+    def trace(self, kind: str, **detail: Any) -> None:
+        pass
+
+    # -- helpers ------------------------------------------------------------
+
+    def bind_replica(self, replica) -> None:
+        self.replica = replica
+        replica.bind(self)
+
+    def fire_timer(self, tag: str, index: int = 0) -> None:
+        """Fire the index-th pending (non-cancelled) timer with this tag."""
+        matches = [t for t in self.timers if t.tag == tag and not t.cancelled]
+        timer = matches[index]
+        timer.cancelled = True
+        self._now = max(self._now, timer.fire_at)
+        assert self.replica is not None
+        self.replica.on_timer(timer.tag, timer.payload)
+
+    def pending_tags(self) -> List[str]:
+        return [t.tag for t in self.timers if not t.cancelled]
+
+    def sent_of_type(self, cls) -> List[object]:
+        return [m for _, m in self.sent if isinstance(m, cls)] + [
+            m for m in self.broadcasts if isinstance(m, cls)
+        ]
+
+
+@pytest.fixture
+def fake_ctx():
+    return FakeContext()
+
+
+def quick_config(
+    protocol: str = "alterbft",
+    f: int = 1,
+    rate: Optional[float] = 400.0,
+    duration: float = 5.0,
+    seed: int = 1,
+    faults: Tuple[Tuple[int, str], ...] = (),
+    tx_size: int = 128,
+    network: Optional[NetworkConfig] = None,
+    **overrides,
+) -> ExperimentConfig:
+    """A small, fast experiment config for integration tests."""
+    pconf = standard_protocol_config(
+        protocol, f=f, delta_small=0.005, delta_big=0.1, **overrides
+    )
+    return ExperimentConfig(
+        protocol=protocol,
+        protocol_config=pconf,
+        network_config=network if network is not None else NetworkConfig(),
+        workload=WorkloadConfig(rate=rate, duration=max(duration - 1.0, 1.0), tx_size=tx_size),
+        seed=seed,
+        max_sim_time=duration,
+        warmup=0.5,
+        faults=faults,
+    )

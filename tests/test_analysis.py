@@ -1,0 +1,79 @@
+"""Analytic performance model sanity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.models import PerformanceModel
+from repro.config import NetworkConfig, ProtocolConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel(NetworkConfig())
+
+
+def pconf(n=3, f=1, delta=0.005):
+    return ProtocolConfig(n=n, f=f, delta=delta)
+
+
+class TestPrimitives:
+    def test_small_delay_under_bound(self, model):
+        assert model.small_delay() <= NetworkConfig().small_bound
+
+    def test_transfer_monotone_in_size(self, model):
+        sizes = [1_000, 100_000, 1_000_000]
+        values = [model.transfer(s) for s in sizes]
+        assert values == sorted(values)
+
+    def test_egress_fanout_scales_with_copies(self, model):
+        one = model.egress_fanout(1_000_000, 1)
+        four = model.egress_fanout(1_000_000, 4)
+        assert four == pytest.approx(4 * one)
+        assert model.egress_fanout(100, 4) == 0.0  # priority lane
+
+
+class TestPredictions:
+    def test_latency_ordering_matches_paper(self, model):
+        size = 200_000
+        d_big = 0.4
+        alter = model.predict("alterbft", pconf(), size, d_big, 100)
+        sync = model.predict("sync-hotstuff", pconf(delta=d_big), size, d_big, 100)
+        hs = model.predict("hotstuff", pconf(n=4), size, d_big, 100)
+        pbft = model.predict("pbft", pconf(n=4), size, d_big, 100)
+        assert sync.commit_latency > 5 * alter.commit_latency
+        assert pbft.commit_latency < alter.commit_latency
+        assert hs.commit_latency > pbft.commit_latency
+
+    def test_same_throughput_for_synchronous_pair(self, model):
+        size = 200_000
+        alter = model.predict("alterbft", pconf(), size, 0.4, 100)
+        sync = model.predict("sync-hotstuff", pconf(delta=0.4), size, 0.4, 100)
+        assert alter.throughput_tps == pytest.approx(sync.throughput_tps)
+
+    def test_gap_grows_with_block_size(self, model):
+        from repro.bench.common import delta_big
+
+        small_gap = model.latency_gap(pconf(), pconf(delta=delta_big(16_384)), 16_384, delta_big(16_384))
+        big_gap = model.latency_gap(
+            pconf(), pconf(delta=delta_big(1_000_000)), 1_000_000, delta_big(1_000_000)
+        )
+        assert small_gap > 1.0
+        assert big_gap > 1.0
+        # Latency gap expressed per transferred byte still favors AlterBFT
+        # at every size; the *absolute* sync latency grows with size.
+        sync_small = model.predict("sync-hotstuff", pconf(delta=delta_big(16_384)), 16_384, delta_big(16_384), 1)
+        sync_big = model.predict(
+            "sync-hotstuff", pconf(delta=delta_big(1_000_000)), 1_000_000, delta_big(1_000_000), 1
+        )
+        assert sync_big.commit_latency > sync_small.commit_latency
+
+    def test_unknown_protocol(self, model):
+        with pytest.raises(ConfigError):
+            model.predict("raft", pconf(), 1000, 0.1, 1)
+
+    def test_rows(self, model):
+        row = model.predict("alterbft", pconf(), 1000, 0.1, 10).row()
+        assert row["protocol"] == "alterbft"
+        assert row["pred_lat_ms"] > 0

@@ -1,0 +1,124 @@
+"""Experiment-suite plumbing: configs, rendering, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.common import (
+    ALL_PROTOCOLS,
+    ExperimentOutput,
+    block_bytes,
+    delta_big,
+    delta_small,
+    make_config,
+    ratio,
+)
+from repro.bench.suite import EXPERIMENTS, PAPER_EXPECTATIONS, render_experiments_md
+from repro.runner.cli import build_parser
+
+
+class TestCommon:
+    def test_make_config_valid_for_every_protocol(self):
+        for protocol in ALL_PROTOCOLS:
+            make_config(protocol).validate()
+
+    def test_bounds_derivation(self):
+        assert delta_small() == pytest.approx(0.005)
+        assert delta_big(block_bytes(400, 512)) > 10 * delta_small()
+
+    def test_block_bytes_scales(self):
+        assert block_bytes(100, 512) > block_bytes(10, 512)
+
+    def test_delta_assignment_per_protocol(self):
+        alter = make_config("alterbft")
+        sync = make_config("sync-hotstuff")
+        assert alter.protocol_config.delta == pytest.approx(delta_small())
+        assert sync.protocol_config.delta > 10 * alter.protocol_config.delta
+
+    def test_fault_plumbing(self):
+        config = make_config("alterbft", faults=((1, "crash@1.0"),))
+        config.validate()
+        assert config.faults == ((1, "crash@1.0"),)
+
+    def test_ratio(self):
+        assert ratio(10, 2) == 5.0
+        assert ratio(1, 0) == float("inf")
+
+
+class TestSuite:
+    def test_every_experiment_has_expectation(self):
+        ids = {eid for eid, _ in EXPERIMENTS}
+        assert ids == set(PAPER_EXPECTATIONS)
+        assert len(EXPERIMENTS) == 11
+
+    def test_render_markdown(self):
+        output = ExperimentOutput(
+            experiment_id="E1",
+            title="Demo",
+            rows=[{"a": 1, "b": 2.5}],
+            headline={"x": 3},
+            notes="note",
+        )
+        text = render_experiments_md([output], fast=True)
+        assert "## E1 — Demo" in text
+        assert "| a | b |" in text
+        assert "x = 3" in text
+        assert "**Paper:**" in text
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "alterbft", "--f", "2", "--fault", "1:crash@2"])
+        assert args.protocol == "alterbft" and args.f == 2
+        args = parser.parse_args(["suite", "--only", "E1,E2"])
+        assert args.only == "E1,E2"
+        args = parser.parse_args(["probe", "--samples", "100"])
+        assert args.samples == 100
+
+    def test_probe_command_runs(self, capsys):
+        from repro.runner.cli import main
+
+        assert main(["probe", "--samples", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "size_B" in out
+
+    def test_run_command_runs(self, capsys):
+        from repro.runner.cli import main
+
+        rc = main(
+            [
+                "run",
+                "alterbft",
+                "--rate",
+                "200",
+                "--duration",
+                "3.0",
+                "--warmup",
+                "0.5",
+                "--tx-size",
+                "128",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alterbft" in out
+
+    def test_run_command_with_fault(self, capsys):
+        from repro.runner.cli import main
+
+        rc = main(
+            [
+                "run",
+                "alterbft",
+                "--rate",
+                "200",
+                "--duration",
+                "4.0",
+                "--warmup",
+                "0.5",
+                "--fault",
+                "1:crash@1.0",
+            ]
+        )
+        assert rc == 0

@@ -1,0 +1,79 @@
+"""BFT client library: f+1 confirmation, retransmission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.cluster import build_cluster
+from repro.smr.client import SimClient, attach_reply_senders, client_node_id
+from tests.conftest import quick_config
+
+
+def cluster_with_client(protocol="alterbft", duration=5.0, faults=(), **kwargs):
+    config = quick_config(protocol, rate=None, duration=duration, faults=faults, **kwargs)
+    # Saturation mode would flood the pools; disable top-up by using an
+    # explicit client instead.
+    cluster = build_cluster(config)
+    cluster.config = config
+    n = config.protocol_config.n
+    attach_reply_senders(cluster.replicas, cluster.network, n)
+    client = SimClient(
+        client_id=0,
+        n_replicas=n,
+        quorum=config.protocol_config.f + 1,
+        network=cluster.network,
+        scheduler=cluster.scheduler,
+        mempools=[r.mempool for r in cluster.replicas if r.replica_id in cluster.honest_ids],
+    )
+    for replica in cluster.replicas:
+        cluster.scheduler.at(0.0, replica.on_start)
+    return cluster, client
+
+
+class TestConfirmation:
+    def test_transaction_confirmed_by_quorum(self):
+        cluster, client = cluster_with_client()
+        seq = client.submit()
+        cluster.scheduler.run(until=3.0)
+        assert client.confirmed(seq)
+        request = client.requests[seq]
+        assert len(request.repliers) >= 2  # f+1 distinct replicas replied
+
+    def test_confirmation_latency_reasonable(self):
+        cluster, client = cluster_with_client()
+        seq = client.submit()
+        cluster.scheduler.run(until=3.0)
+        latency = client.confirmation_latency(seq)
+        assert latency is not None
+        # ≈ dissemination + vote + 2Δ + reply; comfortably under a second.
+        assert 0.01 <= latency < 1.0
+
+    def test_multiple_requests_all_confirm(self):
+        cluster, client = cluster_with_client()
+        seqs = [client.submit() for _ in range(20)]
+        cluster.scheduler.run(until=4.0)
+        assert all(client.confirmed(s) for s in seqs)
+        assert len(client.confirmation_latencies()) == 20
+
+    def test_unconfirmed_before_run(self):
+        cluster, client = cluster_with_client()
+        seq = client.submit()
+        assert not client.confirmed(seq)
+        assert client.confirmation_latency(seq) is None
+
+
+class TestRetransmission:
+    def test_retransmits_until_leader_recovers(self):
+        """Submit while the epoch-1 leader is crashed; the retransmission
+        plus epoch change eventually confirms the request."""
+        cluster, client = cluster_with_client(
+            duration=10.0, faults=((1, "crash"),)
+        )
+        client.retransmit_timeout = 0.5
+        seq = client.submit()
+        cluster.scheduler.run(until=8.0)
+        assert client.confirmed(seq)
+
+    def test_client_node_ids_above_replicas(self):
+        assert client_node_id(3, 0) == 3
+        assert client_node_id(5, 2) == 7

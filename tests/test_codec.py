@@ -1,0 +1,169 @@
+"""Wire codec: roundtrips, determinism, error handling, properties."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import decode, encode, encoded_size, register, registered_type_id
+from repro.errors import CodecError
+from repro.types.block import BlockHeader, genesis_block
+from repro.types.certificates import Vote
+from repro.types.messages import ProposalHeaderMsg, VoteMsg
+from repro.types.transaction import Transaction
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 127, 128, -12345678901234567890, 2**200],
+    )
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_floats(self):
+        for value in (0.0, 1.5, -2.25, 1e300, -1e-300):
+            assert decode(encode(value)) == value
+
+    def test_float_nan(self):
+        decoded = decode(encode(float("nan")))
+        assert decoded != decoded  # NaN roundtrips as NaN
+
+    def test_int_not_confused_with_bool(self):
+        assert decode(encode(1)) == 1
+        assert decode(encode(1)) is not True
+        assert decode(encode(True)) is True
+
+
+class TestContainers:
+    def test_bytes_and_str(self):
+        assert decode(encode(b"")) == b""
+        assert decode(encode(b"\x00\xffdata")) == b"\x00\xffdata"
+        assert decode(encode("héllo")) == "héllo"
+
+    def test_list_tuple_distinct(self):
+        assert decode(encode([1, 2])) == [1, 2]
+        assert decode(encode((1, 2))) == (1, 2)
+        assert isinstance(decode(encode((1, 2))), tuple)
+        assert isinstance(decode(encode([1, 2])), list)
+
+    def test_nested(self):
+        value = {"a": [1, (2, b"x")], "b": {"c": None}}
+        assert decode(encode(value)) == value
+
+    def test_dict_encoding_deterministic(self):
+        a = encode({"x": 1, "y": 2})
+        b = encode({"y": 2, "x": 1})
+        assert a == b
+
+    def test_unsortable_dict_keys_rejected(self):
+        with pytest.raises(CodecError):
+            encode({1: "a", "b": 2})
+
+
+class TestStructs:
+    def test_transaction_roundtrip(self):
+        tx = Transaction(client_id=1, seq=2, submitted_at=3.5, payload=b"abc")
+        assert decode(encode(tx)) == tx
+
+    def test_header_roundtrip(self):
+        header = genesis_block().header
+        decoded = decode(encode(header))
+        assert decoded == header
+        assert decoded.block_hash == header.block_hash
+
+    def test_nested_message_roundtrip(self, signers3):
+        vote = Vote.create(signers3[0], "alterbft", 1, 1, b"\x01" * 32)
+        msg = VoteMsg(vote=vote)
+        assert decode(encode(msg)) == msg
+
+    def test_registered_type_id(self):
+        assert registered_type_id(Transaction) == 10
+        assert registered_type_id(BlockHeader) == 11
+
+    def test_unregistered_type_rejected(self):
+        class NotRegistered:
+            pass
+
+        with pytest.raises(CodecError):
+            encode(NotRegistered())
+        with pytest.raises(CodecError):
+            registered_type_id(NotRegistered)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(CodecError):
+
+            @register(10)  # already taken by Transaction
+            @dataclasses.dataclass(frozen=True)
+            class Clash:
+                x: int
+
+    def test_non_dataclass_registration_rejected(self):
+        with pytest.raises(CodecError):
+            register(99_999)(object)
+
+
+class TestErrors:
+    def test_truncated(self):
+        data = encode((1, 2, 3))
+        with pytest.raises(CodecError):
+            decode(data[:-1])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CodecError):
+            decode(encode(1) + b"\x00")
+
+    def test_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode(b"\x7f")
+
+    def test_unknown_struct_id(self):
+        data = bytes([0x0A]) + bytes([0xFF, 0x7F]) + bytes([0x00])
+        with pytest.raises(CodecError):
+            decode(data)
+
+    def test_empty_input(self):
+        with pytest.raises(CodecError):
+            decode(b"")
+
+
+def test_encoded_size_matches_encode():
+    value = {"k": [1, 2.5, b"xyz"]}
+    assert encoded_size(value) == len(encode(value))
+
+
+# -- property-based -----------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_values)
+def test_roundtrip_property(value):
+    assert decode(encode(value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(_values)
+def test_encoding_deterministic_property(value):
+    assert encode(value) == encode(value)

@@ -1,0 +1,144 @@
+"""Hashing, hashsig signatures, key management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    ZERO_DIGEST,
+    domain_hash,
+    sha256,
+    sha256_many,
+    short_hex,
+)
+from repro.crypto.keystore import build_cluster_keys, make_scheme
+from repro.crypto.signatures import HashSignatureScheme, KeyRegistry, SIGNATURE_SIZE
+from repro.errors import ConfigError, CryptoError
+
+
+class TestHashing:
+    def test_sha256_known_vector(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_digest_size(self):
+        assert len(sha256(b"x")) == DIGEST_SIZE
+        assert len(ZERO_DIGEST) == DIGEST_SIZE
+
+    def test_sha256_many_equals_concat(self):
+        assert sha256_many((b"ab", b"cd")) == sha256(b"abcd")
+
+    def test_domain_separation(self):
+        assert domain_hash("a", b"msg") != domain_hash("b", b"msg")
+        # Length prefix prevents boundary shifting between domain and data.
+        assert domain_hash("ab", b"c") != domain_hash("a", b"bc")
+
+    def test_short_hex(self):
+        digest = sha256(b"x")
+        assert short_hex(digest, 8) == digest.hex()[:8]
+
+
+class TestHashSignatureScheme:
+    def test_sign_verify(self):
+        registry = KeyRegistry()
+        scheme = HashSignatureScheme(registry)
+        pair = scheme.keygen(b"seed")
+        registry.register(0, pair)
+        sig = scheme.sign(pair.secret, b"message")
+        assert len(sig) == SIGNATURE_SIZE
+        assert scheme.verify(pair.public, b"message", sig)
+
+    def test_wrong_message_rejected(self):
+        registry = KeyRegistry()
+        scheme = HashSignatureScheme(registry)
+        pair = scheme.keygen(b"seed")
+        registry.register(0, pair)
+        sig = scheme.sign(pair.secret, b"message")
+        assert not scheme.verify(pair.public, b"other", sig)
+
+    def test_wrong_key_rejected(self):
+        registry = KeyRegistry()
+        scheme = HashSignatureScheme(registry)
+        a = scheme.keygen(b"a")
+        b = scheme.keygen(b"b")
+        registry.register(0, a)
+        registry.register(1, b)
+        sig = scheme.sign(a.secret, b"message")
+        assert not scheme.verify(b.public, b"message", sig)
+
+    def test_malformed_signature_rejected(self):
+        registry = KeyRegistry()
+        scheme = HashSignatureScheme(registry)
+        pair = scheme.keygen(b"seed")
+        registry.register(0, pair)
+        assert not scheme.verify(pair.public, b"m", b"short")
+        assert not scheme.verify(pair.public, b"m", b"\x00" * SIGNATURE_SIZE)
+
+    def test_keygen_deterministic(self):
+        scheme = HashSignatureScheme()
+        assert scheme.keygen(b"s") == scheme.keygen(b"s")
+        assert scheme.keygen(b"s") != scheme.keygen(b"t")
+
+
+class TestKeyRegistry:
+    def test_register_and_lookup(self):
+        registry = KeyRegistry()
+        scheme = HashSignatureScheme(registry)
+        pair = scheme.keygen(b"x")
+        registry.register(5, pair)
+        assert registry.public_key(5) == pair.public
+        assert 5 in registry
+        assert registry.known_ids() == [5]
+
+    def test_duplicate_registration_rejected(self):
+        registry = KeyRegistry()
+        scheme = HashSignatureScheme(registry)
+        registry.register(0, scheme.keygen(b"x"))
+        with pytest.raises(CryptoError):
+            registry.register(0, scheme.keygen(b"y"))
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(CryptoError):
+            KeyRegistry().public_key(3)
+
+
+class TestSigner:
+    def test_cluster_signers_cross_verify(self, signers3):
+        sig = signers3[0].sign(b"msg")
+        assert signers3[1].verify(0, b"msg", sig)
+        assert signers3[2].verify(0, b"msg", sig)
+        assert not signers3[1].verify(2, b"msg", sig)
+
+    def test_digest_and_sign_domains(self, signers3):
+        sig = signers3[0].digest_and_sign("vote", b"msg")
+        assert signers3[1].verify_digest(0, "vote", b"msg", sig)
+        assert not signers3[1].verify_digest(0, "blame", b"msg", sig)
+
+    def test_unknown_signer_id(self, signers3):
+        sig = signers3[0].sign(b"m")
+        assert not signers3[1].verify(42, b"m", sig)
+
+
+class TestKeystore:
+    def test_build_cluster_keys(self):
+        signers = build_cluster_keys("hashsig", 4)
+        assert [s.replica_id for s in signers] == [0, 1, 2, 3]
+        publics = {s.public_key for s in signers}
+        assert len(publics) == 4
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            make_scheme("rsa", KeyRegistry())
+        with pytest.raises(ConfigError):
+            build_cluster_keys("nope", 3)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigError):
+            build_cluster_keys("hashsig", 0)
+
+    def test_schnorr_cluster(self):
+        signers = build_cluster_keys("schnorr", 2)
+        sig = signers[0].sign(b"hello")
+        assert signers[1].verify(0, b"hello", sig)

@@ -1,0 +1,112 @@
+"""Fault behavior parsing and context wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.consensus.validators import ValidatorSet
+from repro.core.protocol import AlterBFTReplica
+from repro.errors import ConfigError
+from repro.faults.behaviors import apply_behavior, parse_behavior
+from repro.net.delay import UniformDelayModel
+from repro.net.simnet import SimNetwork
+from repro.sim.rng import RngFactory
+from repro.sim.scheduler import Scheduler
+
+
+class TestParsing:
+    def test_plain_name(self):
+        assert parse_behavior("silent") == ("silent", None)
+
+    def test_with_time(self):
+        assert parse_behavior("crash@2.5") == ("crash", 2.5)
+
+    def test_bad_time(self):
+        with pytest.raises(ConfigError):
+            parse_behavior("crash@soon")
+
+    def test_unknown_behavior(self):
+        scheduler = Scheduler()
+        network = SimNetwork(scheduler, UniformDelayModel(0, 0.001), RngFactory(1))
+        replica = _replica()
+        with pytest.raises(ConfigError):
+            apply_behavior("teleport", replica, network, scheduler)
+
+
+def _replica(replica_id=0):
+    signers = __import__("repro.crypto.keystore", fromlist=["build_cluster_keys"]).build_cluster_keys(
+        "hashsig", 3
+    )
+    return AlterBFTReplica(
+        replica_id,
+        ValidatorSet.synchronous(3, 1),
+        ProtocolConfig(n=3, f=1),
+        signers[replica_id],
+    )
+
+
+class TestCrash:
+    def test_immediate_crash(self):
+        scheduler = Scheduler()
+        network = SimNetwork(scheduler, UniformDelayModel(0, 0.001), RngFactory(1))
+        replica = _replica()
+        apply_behavior("crash", replica, network, scheduler)
+        assert replica.crashed
+
+    def test_delayed_crash(self):
+        scheduler = Scheduler()
+        network = SimNetwork(scheduler, UniformDelayModel(0, 0.001), RngFactory(1))
+        replica = _replica()
+        apply_behavior("crash@1.0", replica, network, scheduler)
+        assert not replica.crashed
+        scheduler.run(until=2.0)
+        assert replica.crashed
+
+
+class TestSilent:
+    def test_outbound_swallowed(self):
+        from tests.conftest import FakeContext
+
+        scheduler = Scheduler()
+        network = SimNetwork(scheduler, UniformDelayModel(0, 0.001), RngFactory(1))
+        replica = _replica()
+        apply_behavior("silent", replica, network, scheduler)
+        ctx = FakeContext()
+        replica.bind(ctx)
+        replica.ctx.send(1, "msg")
+        replica.ctx.broadcast("msg", include_self=False)
+        assert ctx.sent == []
+        assert ctx.broadcasts == []
+
+    def test_timers_still_work(self):
+        from tests.conftest import FakeContext
+
+        scheduler = Scheduler()
+        network = SimNetwork(scheduler, UniformDelayModel(0, 0.001), RngFactory(1))
+        replica = _replica()
+        apply_behavior("silent", replica, network, scheduler)
+        ctx = FakeContext()
+        replica.bind(ctx)
+        replica.ctx.set_timer(1.0, "pacemaker", None)
+        assert ctx.pending_tags() == ["pacemaker"]
+
+
+class TestBehaviorTargets:
+    def test_equivocate_requires_alterbft_family(self):
+        from repro.baselines.pbft import PBFTReplica
+        from repro.crypto.keystore import build_cluster_keys
+
+        scheduler = Scheduler()
+        network = SimNetwork(scheduler, UniformDelayModel(0, 0.001), RngFactory(1))
+        signers = build_cluster_keys("hashsig", 4)
+        pbft = PBFTReplica(
+            0,
+            ValidatorSet.partially_synchronous(4, 1),
+            ProtocolConfig(n=4, f=1),
+            signers[0],
+        )
+        with pytest.raises(ConfigError):
+            apply_behavior("equivocate", pbft, network, scheduler)
+        with pytest.raises(ConfigError):
+            apply_behavior("withhold_payload", pbft, network, scheduler)

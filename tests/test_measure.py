@@ -1,0 +1,87 @@
+"""Measurement probes and calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.measure.calibration import calibrate
+from repro.measure.probe import (
+    ProbeNode,
+    run_probe_experiment,
+    sample_delay_model,
+    violation_rate,
+)
+from repro.net.delay import HybridCloudDelayModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HybridCloudDelayModel(NetworkConfig())
+
+
+class TestSampling:
+    def test_sample_counts(self, model):
+        samples = sample_delay_model(model, sizes=(128, 65536), samples_per_size=200)
+        assert len(samples[128]) == 200
+        assert len(samples[65536]) == 200
+
+    def test_small_vs_large_separation(self, model):
+        samples = sample_delay_model(model, sizes=(128, 1048576), samples_per_size=500)
+        assert max(samples[128]) < sorted(samples[1048576])[250]
+
+    def test_violation_rate(self):
+        assert violation_rate([1.0, 2.0, 3.0], 2.5) == pytest.approx(1 / 3)
+        assert violation_rate([], 1.0) == 0.0
+
+    def test_deterministic_given_seed(self, model):
+        a = sample_delay_model(model, sizes=(128,), samples_per_size=50, seed=3)
+        b = sample_delay_model(model, sizes=(128,), samples_per_size=50, seed=3)
+        assert a == b
+
+
+class TestProbeExperiment:
+    def test_end_to_end_probe(self, model):
+        results = run_probe_experiment(model, sizes=(256, 65536), probes_per_size=50)
+        assert [r.size for r in results] == [256, 65536]
+        for result in results:
+            assert len(result.one_way) == 50
+        small, large = results
+        assert small.summary().max <= NetworkConfig().small_bound * 1.01
+        assert large.summary().p50 > small.summary().p50
+
+    def test_probe_wire_size_respects_threshold(self, model):
+        """A nominally-small probe's wire size stays below the threshold."""
+        from repro.codec import encode
+        from repro.types.messages import ProbeMsg
+
+        padding = 4096 - ProbeNode.WIRE_OVERHEAD
+        msg = ProbeMsg(probe_id=1, sent_at=1.0, padding=b"x" * padding)
+        assert len(encode(msg)) <= 4096
+
+
+class TestCalibration:
+    def test_recovers_configured_parameters(self, model):
+        network = NetworkConfig()
+        samples = sample_delay_model(model, samples_per_size=3000)
+        report = calibrate(samples, small_threshold=network.small_threshold)
+        assert report.base_delay == pytest.approx(network.base_delay, rel=0.5)
+        assert report.bandwidth == pytest.approx(network.bandwidth, rel=0.5)
+        assert report.small_bound <= network.small_bound * 1.01
+
+    def test_delta_ordering(self, model):
+        network = NetworkConfig()
+        samples = sample_delay_model(model, samples_per_size=2000)
+        report = calibrate(samples, small_threshold=network.small_threshold)
+        assert report.delta_small < report.delta_big
+        assert report.delta_big > 10 * report.delta_small
+
+    def test_to_network_config(self, model):
+        samples = sample_delay_model(model, samples_per_size=500)
+        report = calibrate(samples, small_threshold=4096)
+        fitted = report.to_network_config()
+        fitted.validate()
+
+    def test_requires_small_sizes(self):
+        with pytest.raises(ValueError):
+            calibrate({65536: [0.01]}, small_threshold=4096)

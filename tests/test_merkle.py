@@ -1,0 +1,83 @@
+"""Merkle trees: roots, proofs, domain separation, properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import ZERO_DIGEST
+from repro.crypto.merkle import MerkleTree, merkle_root, verify_proof
+from repro.errors import CryptoError
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = MerkleTree([])
+        assert tree.root == ZERO_DIGEST
+        assert len(tree) == 0
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"a"])
+        assert len(tree) == 1
+        proof = tree.prove(0)
+        assert verify_proof(tree.root, b"a", proof)
+
+    def test_distinct_contents_distinct_roots(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"a", b"c"])
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_leaf_count_matters(self):
+        assert merkle_root([b"a"]) != merkle_root([b"a", b"a"])
+
+    def test_second_preimage_resistance(self):
+        # An interior node's bytes must not be reusable as a leaf.
+        tree = MerkleTree([b"a", b"b"])
+        assert merkle_root([tree.root]) != tree.root
+
+
+class TestProofs:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8, 13])
+    def test_all_proofs_verify(self, count):
+        leaves = [bytes([i]) * 4 for i in range(count)]
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_proof(tree.root, leaf, tree.prove(i))
+
+    def test_wrong_leaf_rejected(self):
+        leaves = [b"a", b"b", b"c"]
+        tree = MerkleTree(leaves)
+        proof = tree.prove(1)
+        assert not verify_proof(tree.root, b"x", proof)
+
+    def test_wrong_position_rejected(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        assert not verify_proof(tree.root, b"a", tree.prove(1))
+
+    def test_out_of_range_index(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(CryptoError):
+            tree.prove(1)
+        with pytest.raises(CryptoError):
+            tree.prove(-1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.binary(min_size=0, max_size=32), min_size=1, max_size=40))
+def test_proof_property(leaves):
+    tree = MerkleTree(leaves)
+    for index in range(len(leaves)):
+        assert verify_proof(tree.root, leaves[index], tree.prove(index))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.binary(max_size=16), min_size=2, max_size=20),
+    st.integers(min_value=0, max_value=19),
+)
+def test_tampered_leaf_fails_property(leaves, index):
+    index %= len(leaves)
+    tree = MerkleTree(leaves)
+    tampered = leaves[index] + b"!"
+    assert not verify_proof(tree.root, tampered, tree.prove(index))

@@ -1,0 +1,153 @@
+"""BaseReplica: dispatch, vote/blame accounting, commit helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.consensus.replica import BaseReplica
+from repro.consensus.validators import ValidatorSet
+from repro.errors import VerificationError
+from repro.types.block import make_block
+from repro.types.certificates import Blame, QuorumCertificate, Vote, genesis_qc
+from repro.types.messages import VoteMsg
+from repro.types.transaction import make_transaction
+from tests.conftest import FakeContext
+
+
+class EchoReplica(BaseReplica):
+    protocol_name = "alterbft"  # reuse a real protocol name for signatures
+
+    HANDLERS = {VoteMsg: "on_vote"}
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seen = []
+
+    def on_vote(self, src, msg):
+        self.seen.append((src, msg))
+        self.record_vote(msg.vote)
+
+
+@pytest.fixture
+def replica(signers3, validators3):
+    config = ProtocolConfig(n=3, f=1)
+    r = EchoReplica(0, validators3, config, signers3[0])
+    ctx = FakeContext()
+    ctx.bind_replica(r)
+    return r
+
+
+def make_vote(signer, epoch=1, height=1, block_hash=b"\x05" * 32, phase=0):
+    return Vote.create(signer, "alterbft", epoch, height, block_hash, phase=phase)
+
+
+class TestDispatch:
+    def test_known_message_dispatched(self, replica, signers3):
+        replica.handle(1, VoteMsg(vote=make_vote(signers3[1])))
+        assert len(replica.seen) == 1
+
+    def test_unknown_message_ignored(self, replica):
+        replica.handle(1, object())
+        assert replica.seen == []
+
+    def test_crashed_replica_ignores_everything(self, replica, signers3):
+        replica.crashed = True
+        replica.handle(1, VoteMsg(vote=make_vote(signers3[1])))
+        assert replica.seen == []
+        replica.on_timer("pacemaker", None)  # must not raise
+
+    def test_verification_errors_are_contained(self, replica, signers3):
+        import dataclasses
+
+        bad = dataclasses.replace(make_vote(signers3[1]), height=99)
+        replica.handle(1, VoteMsg(vote=bad))  # bad signature → dropped
+        # Replica keeps running:
+        replica.handle(1, VoteMsg(vote=make_vote(signers3[1])))
+        assert len(replica.seen) == 2
+
+    def test_unknown_timer_tag_raises(self, replica):
+        with pytest.raises(VerificationError):
+            replica.on_timer("never-registered", None)
+
+
+class TestVoteAccounting:
+    def test_quorum_forms_once(self, replica, signers3):
+        assert replica.record_vote(make_vote(signers3[1])) is None
+        qc = replica.record_vote(make_vote(signers3[2]))
+        assert isinstance(qc, QuorumCertificate)
+        assert replica.record_vote(make_vote(signers3[0])) is None  # already formed
+
+    def test_duplicate_votes_ignored(self, replica, signers3):
+        assert replica.record_vote(make_vote(signers3[1])) is None
+        assert replica.record_vote(make_vote(signers3[1])) is None
+
+    def test_wrong_protocol_rejected(self, replica, signers3):
+        vote = Vote.create(signers3[1], "pbft", 1, 1, b"\x05" * 32)
+        with pytest.raises(VerificationError):
+            replica.record_vote(vote)
+
+    def test_invalid_voter_rejected(self, replica, signers3):
+        import dataclasses
+
+        vote = dataclasses.replace(make_vote(signers3[1]), voter=7)
+        with pytest.raises(VerificationError):
+            replica.record_vote(vote)
+
+    def test_qc_lookup(self, replica, signers3):
+        replica.record_vote(make_vote(signers3[1]))
+        replica.record_vote(make_vote(signers3[2]))
+        assert replica.qc_for(0, 1, b"\x05" * 32) is not None
+        assert replica.qc_for(0, 2, b"\x05" * 32) is None
+
+    def test_verify_qc(self, replica, signers3):
+        replica.record_vote(make_vote(signers3[1]))
+        qc = replica.record_vote(make_vote(signers3[2]))
+        assert replica.verify_qc(qc)
+        assert replica.verify_qc(genesis_qc("alterbft", replica.store.genesis.block_hash))
+        assert not replica.verify_qc(genesis_qc("alterbft", b"\x00" * 32))
+
+
+class TestBlameAccounting:
+    def test_blame_cert_forms_once(self, replica, signers3):
+        assert replica.record_blame(Blame.create(signers3[1], "alterbft", 1)) is None
+        cert = replica.record_blame(Blame.create(signers3[2], "alterbft", 1))
+        assert cert is not None
+        assert replica.verify_blame_cert(cert)
+        assert replica.record_blame(Blame.create(signers3[0], "alterbft", 1)) is None
+
+    def test_wrong_protocol_blame_rejected(self, replica, signers3):
+        with pytest.raises(VerificationError):
+            replica.record_blame(Blame.create(signers3[1], "hotstuff", 1))
+
+
+class TestCommitHelper:
+    def test_commit_through_ancestors(self, replica):
+        parent = replica.store.genesis.block_hash
+        blocks = []
+        for height in (1, 2, 3):
+            block = make_block(1, height, parent, (make_transaction(0, height, 0.0, 8),), 0)
+            replica.store.add_block(block)
+            blocks.append(block)
+            parent = block.block_hash
+        committed = replica.commit_through(blocks[-1].block_hash)
+        assert [b.height for b in committed] == [1, 2, 3]
+        assert replica.ledger.height == 3
+        assert replica.commit_through(blocks[-1].block_hash) == []  # idempotent
+
+    def test_commit_removes_from_mempool(self, replica):
+        tx = make_transaction(0, 1, 0.0, 8)
+        replica.mempool.add(tx)
+        block = make_block(1, 1, replica.store.genesis.block_hash, (tx,), 0)
+        replica.store.add_block(block)
+        replica.commit_through(block.block_hash)
+        assert replica.mempool.pending_count == 0
+
+
+class TestProposalSignatures:
+    def test_sign_and_verify(self, replica, signers3):
+        block_hash = b"\x17" * 32
+        sig = replica.sign_proposal(block_hash)
+        assert replica.verify_proposal_signature(0, block_hash, sig)
+        assert not replica.verify_proposal_signature(1, block_hash, sig)
+        assert not replica.verify_proposal_signature(0, b"\x18" * 32, sig)

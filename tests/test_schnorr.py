@@ -1,0 +1,127 @@
+"""Schnorr signatures over secp256k1: curve math and the scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.schnorr import (
+    GX,
+    GY,
+    N,
+    SchnorrSignature,
+    SchnorrSignatureScheme,
+    decode_point,
+    encode_point,
+    is_on_curve,
+    point_add,
+    point_mul,
+)
+from repro.crypto.signatures import SIGNATURE_SIZE
+from repro.errors import CryptoError
+
+
+class TestCurveMath:
+    def test_generator_on_curve(self):
+        assert is_on_curve((GX, GY))
+
+    def test_infinity(self):
+        assert is_on_curve(None)
+        assert point_add(None, (GX, GY)) == (GX, GY)
+        assert point_add((GX, GY), None) == (GX, GY)
+
+    def test_inverse_sums_to_infinity(self):
+        g = (GX, GY)
+        neg = (GX, (-GY) % (2**256 - 2**32 - 977))
+        assert point_add(g, neg) is None
+
+    def test_scalar_mul_matches_repeated_add(self):
+        g = (GX, GY)
+        five_by_add = point_add(point_add(point_add(point_add(g, g), g), g), g)
+        assert point_mul(5) == five_by_add
+
+    def test_order_annihilates(self):
+        assert point_mul(N) is None
+        assert point_mul(N + 1) == (GX, GY)
+
+    def test_results_stay_on_curve(self):
+        for k in (2, 3, 12345, N - 1):
+            assert is_on_curve(point_mul(k))
+
+
+class TestPointEncoding:
+    def test_roundtrip(self):
+        for k in (1, 2, 99, 2**100):
+            point = point_mul(k)
+            assert decode_point(encode_point(point)) == point
+
+    def test_bad_prefix(self):
+        data = encode_point((GX, GY))
+        with pytest.raises(CryptoError):
+            decode_point(b"\x05" + data[1:])
+
+    def test_bad_length(self):
+        with pytest.raises(CryptoError):
+            decode_point(b"\x02" + b"\x00" * 10)
+
+    def test_not_on_curve(self):
+        # x = 0 gives y^2 = 7, which has no square root mod p.
+        with pytest.raises(CryptoError):
+            decode_point(b"\x02" + (0).to_bytes(32, "big"))
+
+
+class TestScheme:
+    def test_sign_verify(self):
+        scheme = SchnorrSignatureScheme()
+        pair = scheme.keygen(b"seed")
+        sig = scheme.sign(pair.secret, b"hello world")
+        assert len(sig) == SIGNATURE_SIZE
+        assert scheme.verify(pair.public, b"hello world", sig)
+
+    def test_deterministic_signatures(self):
+        scheme = SchnorrSignatureScheme()
+        pair = scheme.keygen(b"seed")
+        assert scheme.sign(pair.secret, b"m") == scheme.sign(pair.secret, b"m")
+
+    def test_tampered_message_rejected(self):
+        scheme = SchnorrSignatureScheme()
+        pair = scheme.keygen(b"seed")
+        sig = scheme.sign(pair.secret, b"m")
+        assert not scheme.verify(pair.public, b"m2", sig)
+
+    def test_tampered_signature_rejected(self):
+        scheme = SchnorrSignatureScheme()
+        pair = scheme.keygen(b"seed")
+        sig = bytearray(scheme.sign(pair.secret, b"m"))
+        sig[40] ^= 0x01
+        assert not scheme.verify(pair.public, b"m", bytes(sig))
+
+    def test_wrong_key_rejected(self):
+        scheme = SchnorrSignatureScheme()
+        a = scheme.keygen(b"a")
+        b = scheme.keygen(b"b")
+        sig = scheme.sign(a.secret, b"m")
+        assert not scheme.verify(b.public, b"m", sig)
+
+    def test_garbage_signature_rejected(self):
+        scheme = SchnorrSignatureScheme()
+        pair = scheme.keygen(b"seed")
+        assert not scheme.verify(pair.public, b"m", b"\xff" * SIGNATURE_SIZE)
+        assert not scheme.verify(pair.public, b"m", b"short")
+
+    def test_distinct_messages_distinct_signatures(self):
+        scheme = SchnorrSignatureScheme()
+        pair = scheme.keygen(b"seed")
+        assert scheme.sign(pair.secret, b"m1") != scheme.sign(pair.secret, b"m2")
+
+
+class TestSignatureEncoding:
+    def test_roundtrip(self):
+        scheme = SchnorrSignatureScheme()
+        pair = scheme.keygen(b"x")
+        raw = scheme.sign(pair.secret, b"msg")
+        sig = SchnorrSignature.decode(raw)
+        assert sig.encode() == raw
+
+    def test_bad_length(self):
+        with pytest.raises(CryptoError):
+            SchnorrSignature.decode(b"\x00" * 10)

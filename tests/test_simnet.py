@@ -1,0 +1,147 @@
+"""Simulated network: delivery, partitions, filters, egress serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.delay import UniformDelayModel
+from repro.net.simnet import LOOPBACK_DELAY, SimNetwork
+from repro.sim.rng import RngFactory
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+def make_net(n=3, low=0.001, high=0.002, **kwargs):
+    scheduler = Scheduler()
+    net = SimNetwork(
+        scheduler, UniformDelayModel(low, high), RngFactory(1), Trace(), **kwargs
+    )
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        net.attach(i, lambda src, msg, i=i: inboxes[i].append((src, msg)))
+    return scheduler, net, inboxes
+
+
+class TestDelivery:
+    def test_send_delivers_within_model_bounds(self):
+        scheduler, net, inboxes = make_net()
+        net.send(0, 1, "hello")
+        scheduler.run()
+        assert inboxes[1] == [(0, "hello")]
+        assert 0.001 <= scheduler.now <= 0.002
+
+    def test_broadcast_includes_self_by_default(self):
+        scheduler, net, inboxes = make_net()
+        net.broadcast(0, "x")
+        scheduler.run()
+        assert inboxes[0] == [(0, "x")]
+        assert inboxes[1] == [(0, "x")]
+        assert inboxes[2] == [(0, "x")]
+
+    def test_broadcast_exclude_self(self):
+        scheduler, net, inboxes = make_net()
+        net.broadcast(0, "x", include_self=False)
+        scheduler.run()
+        assert inboxes[0] == []
+        assert len(inboxes[1]) == 1
+
+    def test_loopback_fast(self):
+        scheduler, net, inboxes = make_net()
+        net.send(1, 1, "self")
+        scheduler.run()
+        assert inboxes[1] == [(1, "self")]
+        assert scheduler.now == pytest.approx(LOOPBACK_DELAY)
+
+    def test_duplicate_attach_rejected(self):
+        _, net, _ = make_net()
+        with pytest.raises(SimulationError):
+            net.attach(0, lambda s, m: None)
+
+    def test_message_accounting(self):
+        scheduler, net, _ = make_net()
+        net.send(0, 1, "hello")
+        scheduler.run()
+        assert net.trace.counters["messages"] == 1
+        assert net.trace.counters["bytes"] > 0
+
+
+class TestPartitions:
+    def test_partition_drops_cross_group(self):
+        scheduler, net, inboxes = make_net()
+        net.set_partition([{0, 1}, {2}])
+        net.send(0, 2, "dropped")
+        net.send(0, 1, "delivered")
+        scheduler.run()
+        assert inboxes[2] == []
+        assert inboxes[1] == [(0, "delivered")]
+
+    def test_heal(self):
+        scheduler, net, inboxes = make_net()
+        net.set_partition([{0}, {1, 2}])
+        net.heal_partition()
+        net.send(0, 1, "ok")
+        scheduler.run()
+        assert inboxes[1] == [(0, "ok")]
+
+    def test_node_in_no_group_isolated(self):
+        scheduler, net, inboxes = make_net()
+        net.set_partition([{1, 2}])
+        net.send(0, 1, "never")
+        scheduler.run()
+        assert inboxes[1] == []
+
+
+class TestFiltersAndCrash:
+    def test_filter_drops(self):
+        scheduler, net, inboxes = make_net()
+        net.add_filter(lambda src, dst, msg, size: msg != "bad")
+        net.send(0, 1, "bad")
+        net.send(0, 1, "good")
+        scheduler.run()
+        assert inboxes[1] == [(0, "good")]
+
+    def test_down_node_neither_sends_nor_receives(self):
+        scheduler, net, inboxes = make_net()
+        net.take_down(1)
+        net.send(0, 1, "to-down")
+        net.send(1, 2, "from-down")
+        scheduler.run()
+        assert inboxes[1] == []
+        assert inboxes[2] == []
+        net.bring_up(1)
+        net.send(0, 1, "back")
+        scheduler.run()
+        assert inboxes[1] == [(0, "back")]
+
+    def test_unattached_destination_errors(self):
+        scheduler, net, _ = make_net()
+        net.send(0, 99, "x")
+        with pytest.raises(SimulationError):
+            scheduler.run()
+
+
+class TestEgressSerialization:
+    def test_large_copies_queue_behind_each_other(self):
+        # 1 MB payload at 1 MB/s egress: 2nd copy departs ~1 s after 1st.
+        scheduler, net, inboxes = make_net(
+            low=0.0, high=0.0, egress_bandwidth=1_000_000.0, priority_threshold=4096
+        )
+        big = b"x" * 1_000_000
+        arrivals = []
+        net._handlers[1] = lambda src, msg: arrivals.append(("r1", scheduler.now))
+        net._handlers[2] = lambda src, msg: arrivals.append(("r2", scheduler.now))
+        net.broadcast(0, big, include_self=False)
+        scheduler.run()
+        times = sorted(t for _, t in arrivals)
+        assert times[0] == pytest.approx(1.0, rel=0.05)
+        assert times[1] == pytest.approx(2.0, rel=0.05)
+
+    def test_small_messages_bypass_egress_queue(self):
+        scheduler, net, inboxes = make_net(
+            low=0.0, high=0.0, egress_bandwidth=1_000_000.0, priority_threshold=4096
+        )
+        net.send(0, 1, b"x" * 1_000_000)  # occupies egress for ~1 s
+        net.send(0, 2, b"tiny")
+        scheduler.run(until=0.5)
+        assert inboxes[2], "small message should not wait behind the payload"

@@ -1,0 +1,144 @@
+"""Statistics helpers, metrics collection, report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measure.stats import LatencySummary, cdf_points, mean, percentile, stddev
+from repro.runner.metrics import MetricsCollector
+from repro.runner.report import format_table, markdown_table, speedup
+from repro.types.block import genesis_block, make_block
+from repro.types.transaction import Transaction
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_endpoints(self):
+        samples = [3.0, 1.0, 2.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 3.0
+
+    def test_matches_numpy_convention(self):
+        numpy = pytest.importorskip("numpy")
+        samples = [0.3, 1.2, 5.5, 2.2, 9.1, 0.01, 4.4]
+        for q in (10, 25, 50, 75, 90, 99):
+            assert percentile(samples, q) == pytest.approx(
+                float(numpy.percentile(samples, q))
+            )
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSummary:
+    def test_basic(self):
+        summary = LatencySummary.from_samples([0.010, 0.020, 0.030])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.020)
+        assert summary.p50 == pytest.approx(0.020)
+        assert summary.max == 0.030
+
+    def test_empty(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0 and summary.p99 == 0.0
+
+    def test_millis(self):
+        millis = LatencySummary.from_samples([0.5]).as_millis()
+        assert millis["p50_ms"] == 500.0
+
+    def test_mean_stddev(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert stddev([1.0, 3.0]) == pytest.approx(2.0**0.5)
+        assert stddev([1.0]) == 0.0
+
+    def test_cdf(self):
+        points = cdf_points([1.0, 2.0, 3.0, 4.0], points=4)
+        assert points[-1] == (4.0, 1.0)
+        values = [p for p, _ in points]
+        assert values == sorted(values)
+        assert cdf_points([]) == []
+
+
+def tx_at(client, seq, t):
+    return Transaction(client_id=client, seq=seq, submitted_at=t, payload=b"x")
+
+
+class TestMetricsCollector:
+    def make_block_at(self, height, parent, txs):
+        return make_block(1, height, parent, txs, 0)
+
+    def test_first_commit_wins(self):
+        collector = MetricsCollector(warmup=0.0, honest_ids={0, 1})
+        block = self.make_block_at(1, genesis_block().block_hash, (tx_at(0, 0, 1.0),))
+        collector.observe_commit(0, block, 2.0)
+        collector.observe_commit(1, block, 3.0)  # later replica: ignored
+        [latency] = collector.tx_latencies(end_time=10.0)
+        assert latency == pytest.approx(1.0)
+
+    def test_byzantine_commits_ignored(self):
+        collector = MetricsCollector(warmup=0.0, honest_ids={0})
+        block = self.make_block_at(1, genesis_block().block_hash, (tx_at(0, 0, 1.0),))
+        collector.observe_commit(5, block, 1.5)  # not honest
+        assert collector.committed_tx_count(10.0) == 0
+
+    def test_warmup_filtering(self):
+        collector = MetricsCollector(warmup=5.0, honest_ids={0})
+        early = self.make_block_at(1, genesis_block().block_hash, (tx_at(0, 0, 1.0),))
+        collector.observe_commit(0, early, 2.0)
+        assert collector.tx_latencies(10.0) == []
+
+    def test_block_latency_from_proposal(self):
+        collector = MetricsCollector(warmup=0.0, honest_ids={0})
+        block = self.make_block_at(1, genesis_block().block_hash, ())
+        collector.note_proposal(block.block_hash, 1.0)
+        collector.observe_commit(0, block, 1.4)
+        [latency] = collector.block_latencies()
+        assert latency == pytest.approx(0.4)
+
+    def test_max_commit_gap(self):
+        collector = MetricsCollector(warmup=0.0, honest_ids={0})
+        g = genesis_block().block_hash
+        b1 = self.make_block_at(1, g, ())
+        collector.observe_commit(0, b1, 1.0)
+        b2 = make_block(1, 2, b1.block_hash, (), 0)
+        collector.observe_commit(0, b2, 4.0)
+        assert collector.max_commit_gap(0.0, 5.0) == pytest.approx(3.0)
+
+    def test_max_commit_gap_empty(self):
+        collector = MetricsCollector(warmup=0.0, honest_ids={0})
+        assert collector.max_commit_gap(0.0, 5.0) == 5.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_markdown(self):
+        text = markdown_table([{"x": 1.5}])
+        assert text.splitlines()[0] == "| x |"
+        assert "1.50" in text
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) == float("inf")
