@@ -1,0 +1,60 @@
+"""Verification harness: invariant checkers, a model-bounded adversarial
+network scheduler, and a seeded scenario sweep (``python -m repro.check``).
+
+See DESIGN.md ("Verification harness") for the architecture and
+EXPERIMENTS.md (E10) for how the sweep demonstrates the relay ablation.
+"""
+
+from .adversary import PROFILES, ModelBoundedAdversary, install_adversary
+from .invariants import (
+    AGREEMENT,
+    BOUNDED_GAP,
+    CERTIFIED_CHAIN,
+    InvariantResult,
+    check_agreement,
+    check_all,
+    check_bounded_gap,
+    check_certified_chain,
+    violations,
+)
+from .runner import ScenarioResult, main, run_demo, run_scenario, run_sweep
+from .scenarios import (
+    BEHAVIORS,
+    PROTOCOLS,
+    Scenario,
+    build_config,
+    default_grid,
+    e10_demo_scenario,
+    liveness_gap_bound,
+    parse_scenario_id,
+    replay_command,
+)
+
+__all__ = [
+    "AGREEMENT",
+    "BEHAVIORS",
+    "BOUNDED_GAP",
+    "CERTIFIED_CHAIN",
+    "InvariantResult",
+    "ModelBoundedAdversary",
+    "PROFILES",
+    "PROTOCOLS",
+    "Scenario",
+    "ScenarioResult",
+    "build_config",
+    "check_agreement",
+    "check_all",
+    "check_bounded_gap",
+    "check_certified_chain",
+    "default_grid",
+    "e10_demo_scenario",
+    "install_adversary",
+    "liveness_gap_bound",
+    "main",
+    "parse_scenario_id",
+    "replay_command",
+    "run_demo",
+    "run_scenario",
+    "run_sweep",
+    "violations",
+]

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.check``."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

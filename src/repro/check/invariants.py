@@ -1,0 +1,180 @@
+"""First-class invariant checkers over finished simulation runs.
+
+Each checker consumes a run cluster (replica state, metrics, trace) and
+renders a verdict with enough detail to act on a violation.  The three
+invariants are the correctness claims the repository exists to test:
+
+* **agreement** — no two honest replicas commit conflicting blocks at any
+  height (pairwise prefix consistency of honest ledgers);
+* **certified-chain** — every committed block is reachable from genesis
+  through intact parent links, carries a payload matching its header
+  commitment, and is certified by a cryptographically valid quorum
+  certificate known somewhere in the honest cluster;
+* **bounded-gap liveness** — once faults have played out (the scenario's
+  *recovery time*), no honest replica goes longer than the model-derived
+  bound without committing.
+
+Checkers never mutate the cluster; they can run repeatedly and in any
+order.  A violation is reported as data, not an exception — the sweep
+runner (:mod:`repro.check.runner`) aggregates them across scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set
+
+from ..crypto.hashing import short_hex
+from ..types.certificates import QuorumCertificate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runner.cluster import Cluster
+
+#: Canonical invariant names, in report order.
+AGREEMENT = "agreement"
+CERTIFIED_CHAIN = "certified-chain"
+BOUNDED_GAP = "bounded-gap"
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Verdict of one invariant checker on one run."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok" if self.ok else "VIOLATED"
+        return f"{self.name}: {mark}" + (f" ({self.detail})" if self.detail else "")
+
+
+def check_agreement(cluster: "Cluster") -> InvariantResult:
+    """No two honest replicas commit conflicting blocks at any height."""
+    honest = [r for r in cluster.replicas if r.replica_id in cluster.honest_ids]
+    for height in range(max((r.ledger.height for r in honest), default=0) + 1):
+        seen = {}
+        for replica in honest:
+            block_hash = replica.ledger.committed_hash_at(height)
+            if block_hash is None:
+                continue
+            other = seen.get(block_hash)
+            if other is None:
+                seen[block_hash] = replica.replica_id
+        if len(seen) > 1:
+            pairs = ", ".join(
+                f"replica {rid}={short_hex(h)}" for h, rid in sorted(seen.items(), key=lambda i: i[1])
+            )
+            return InvariantResult(
+                AGREEMENT, False, f"conflicting commits at height {height}: {pairs}"
+            )
+    return InvariantResult(AGREEMENT, True)
+
+
+def _collect_certificates(cluster: "Cluster") -> List[QuorumCertificate]:
+    """Every quorum certificate any honest replica holds, deduplicated.
+
+    Covers directly formed certificates (vote accounting), justify
+    certificates carried by proposals, high-water certificates, and the
+    orphan QC buffers some baselines keep for out-of-order arrivals.
+    """
+    seen: Set[QuorumCertificate] = set()
+    for replica in cluster.replicas:
+        if replica.replica_id not in cluster.honest_ids:
+            continue
+        seen.update(replica._qcs.values())
+        for attr in ("_justify_of", "_orphan_prepare_qcs", "_orphan_commit_qcs"):
+            mapping = getattr(replica, attr, None)
+            if mapping:
+                seen.update(mapping.values())
+        high_qc = getattr(replica, "high_qc", None)
+        if high_qc is not None:
+            seen.add(high_qc)
+    return list(seen)
+
+
+def check_certified_chain(cluster: "Cluster") -> InvariantResult:
+    """Every committed block chains to genesis under a valid certificate."""
+    honest = [r for r in cluster.replicas if r.replica_id in cluster.honest_ids]
+    if not honest:
+        return InvariantResult(CERTIFIED_CHAIN, True, "no honest replicas")
+    verifier = honest[0]
+    certified = {
+        qc.block_hash for qc in _collect_certificates(cluster) if verifier.verify_qc(qc)
+    }
+    for replica in honest:
+        ledger = replica.ledger
+        for height in range(len(ledger)):
+            block = ledger.block_at(height)
+            if height > 0:
+                parent = ledger.block_at(height - 1)
+                if block.parent != parent.block_hash:
+                    return InvariantResult(
+                        CERTIFIED_CHAIN,
+                        False,
+                        f"replica {replica.replica_id}: broken parent link at height {height}",
+                    )
+                if block.block_hash not in certified:
+                    return InvariantResult(
+                        CERTIFIED_CHAIN,
+                        False,
+                        f"replica {replica.replica_id}: no valid QC for committed "
+                        f"block {short_hex(block.block_hash)} at height {height}",
+                    )
+            if not block.validate_payload():
+                return InvariantResult(
+                    CERTIFIED_CHAIN,
+                    False,
+                    f"replica {replica.replica_id}: payload/header mismatch at height {height}",
+                )
+    return InvariantResult(CERTIFIED_CHAIN, True)
+
+
+def check_bounded_gap(
+    cluster: "Cluster", recovery_time: float, gap_bound: float
+) -> InvariantResult:
+    """After ``recovery_time``, honest commits never pause past the bound.
+
+    The bound is scenario-derived (see
+    :func:`repro.check.scenarios.liveness_gap_bound`): roughly one full
+    adaptive epoch change plus the protocol's commit path, with slack.
+    """
+    end = cluster.config.max_sim_time
+    if end - recovery_time < gap_bound:
+        return InvariantResult(
+            BOUNDED_GAP, True, "window shorter than bound; vacuously satisfied"
+        )
+    collector = cluster.collector
+    for replica_id in sorted(cluster.honest_ids):
+        times = [
+            t
+            for t in collector.commit_times_by_replica.get(replica_id, [])
+            if t >= recovery_time
+        ]
+        edges = [recovery_time] + times + [end]
+        worst = max(b - a for a, b in zip(edges, edges[1:]))
+        if worst > gap_bound:
+            return InvariantResult(
+                BOUNDED_GAP,
+                False,
+                f"replica {replica_id}: {worst:.3f}s without a commit after "
+                f"t={recovery_time:.1f} (bound {gap_bound:.3f}s)",
+            )
+    return InvariantResult(BOUNDED_GAP, True)
+
+
+def check_all(
+    cluster: "Cluster",
+    recovery_time: Optional[float] = None,
+    gap_bound: Optional[float] = None,
+) -> List[InvariantResult]:
+    """Run every applicable invariant; liveness only when bounds are given."""
+    results = [check_agreement(cluster), check_certified_chain(cluster)]
+    if recovery_time is not None and gap_bound is not None:
+        results.append(check_bounded_gap(cluster, recovery_time, gap_bound))
+    return results
+
+
+def violations(results: Sequence[InvariantResult]) -> List[InvariantResult]:
+    """The failing subset, in report order."""
+    return [r for r in results if not r.ok]

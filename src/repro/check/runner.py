@@ -1,0 +1,276 @@
+"""Seed-sweep runner: execute scenarios, check invariants, report.
+
+``python -m repro.check`` runs the default grid (210 scenarios across
+{AlterBFT, Sync HotStuff} × {fault behaviors} × {adversary profiles} ×
+seeds), expecting **zero** invariant violations, then demonstrates that
+the harness detects real violations by re-running the E10 relay-off
+ablation until the agreement checker catches the fork — printing a seed
+and the exact replay command, and proving determinism by re-running the
+failing seed and comparing trace fingerprints byte for byte.
+
+Scenario execution is a pure function of the scenario (no shared state),
+so the sweep parallelizes over processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..runner.cluster import build_cluster
+from ..runner.registry import protocol_names
+from .adversary import PROFILES, install_adversary
+from .invariants import AGREEMENT, InvariantResult, check_all, violations
+from .scenarios import (
+    BEHAVIORS,
+    PROTOCOLS,
+    RECOVERY_TIME,
+    Scenario,
+    build_config,
+    default_grid,
+    e10_demo_scenario,
+    liveness_gap_bound,
+    parse_scenario_id,
+    replay_command,
+)
+
+#: How many seeds the E10 demonstration scans before giving up.
+DEMO_SEED_LIMIT = 20
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario run (picklable for the process pool)."""
+
+    scenario: Scenario
+    results: Tuple[InvariantResult, ...]
+    fingerprint: str
+    committed_blocks: int
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def violations(self) -> List[InvariantResult]:
+        return violations(self.results)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Run one scenario end to end and check every applicable invariant.
+
+    Liveness is only asserted on model-conforming runs (relay on): the
+    relay-off ablation deliberately breaks the protocol, and its expected
+    failure mode is agreement, not throughput.
+    """
+    config = build_config(scenario)
+    cluster = build_cluster(config)
+    install_adversary(cluster, scenario.profile)
+    cluster.start()
+    cluster.run()
+    if scenario.relay_headers:
+        results = check_all(
+            cluster,
+            recovery_time=RECOVERY_TIME,
+            gap_bound=liveness_gap_bound(config.protocol_config),
+        )
+    else:
+        results = check_all(cluster)
+    ledger_state = b"".join(
+        block_hash
+        for replica in cluster.replicas
+        if replica.replica_id in cluster.honest_ids
+        for block_hash in replica.ledger.all_hashes()
+    )
+    return ScenarioResult(
+        scenario=scenario,
+        results=tuple(results),
+        fingerprint=cluster.trace.fingerprint(extra=ledger_state),
+        committed_blocks=cluster.collector.committed_blocks(),
+    )
+
+
+def run_sweep(
+    grid: Sequence[Scenario], jobs: int = 1, progress: bool = True
+) -> List[ScenarioResult]:
+    """Run a scenario grid, optionally across worker processes."""
+    results: List[ScenarioResult] = []
+    if jobs <= 1:
+        iterator = map(run_scenario, grid)
+    else:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        iterator = pool.map(run_scenario, grid)
+    try:
+        for index, result in enumerate(iterator, start=1):
+            results.append(result)
+            if progress and (not result.ok or index % 25 == 0 or index == len(grid)):
+                mark = "ok " if result.ok else "FAIL"
+                print(
+                    f"  [{index}/{len(grid)}] {mark} {result.scenario.scenario_id}",
+                    flush=True,
+                )
+    finally:
+        if jobs > 1:
+            pool.shutdown()
+    return results
+
+
+def run_demo(seed_limit: int = DEMO_SEED_LIMIT) -> Optional[Tuple[ScenarioResult, bool]]:
+    """Reproduce the E10 relay-off agreement violation.
+
+    Scans seeds in order until the agreement checker flags a fork, then
+    re-runs that exact seed and compares fingerprints.  Returns the
+    failing result and whether the re-run was byte-identical, or None if
+    no seed forked within the limit.
+    """
+    for seed in range(1, seed_limit + 1):
+        result = run_scenario(e10_demo_scenario(seed))
+        if any(r.name == AGREEMENT and not r.ok for r in result.results):
+            rerun = run_scenario(result.scenario)
+            return result, rerun.fingerprint == result.fingerprint
+    return None
+
+
+def _print_report(results: Sequence[ScenarioResult]) -> int:
+    failed = [r for r in results if not r.ok]
+    for result in failed:
+        print(f"\nVIOLATION in {result.scenario.scenario_id}:")
+        for violation in result.violations:
+            print(f"  {violation}")
+        print(f"  replay: {replay_command(result.scenario)}")
+        print(f"  fingerprint: {result.fingerprint}")
+    verdict = "PASS" if not failed else "FAIL"
+    print(
+        f"\n{verdict}: {len(results) - len(failed)}/{len(results)} scenarios satisfied "
+        "agreement, certified-chain, and bounded-gap invariants"
+    )
+    return len(failed)
+
+
+def _run_replay(scenario_id: str) -> int:
+    scenario = parse_scenario_id(scenario_id)
+    print(f"replaying {scenario.scenario_id} ...")
+    result = run_scenario(scenario)
+    for invariant in result.results:
+        print(f"  {invariant}")
+    print(f"  committed blocks: {result.committed_blocks}")
+    print(f"  fingerprint: {result.fingerprint}")
+    return 0 if result.ok else 1
+
+
+def _csv(value: str) -> List[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Sweep seeded fault/adversary scenarios and check consensus invariants.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=7, help="seeds per combo (default 7 → 210 scenarios)"
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    parser.add_argument(
+        "--protocols", type=_csv, default=list(PROTOCOLS), help="comma-separated protocols"
+    )
+    parser.add_argument(
+        "--behaviors", type=_csv, default=list(BEHAVIORS), help="comma-separated behaviors"
+    )
+    parser.add_argument(
+        "--profiles", type=_csv, default=list(PROFILES), help="comma-separated adversary profiles"
+    )
+    parser.add_argument(
+        "--replay", metavar="SCENARIO_ID", help="re-run one scenario and print its verdict"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI sweep: 2 seeds, calibrated+adversarial profiles",
+    )
+    parser.add_argument(
+        "--no-demo",
+        action="store_true",
+        help="skip the E10 relay-off violation demonstration",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the scenario grid and exit"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        return _dispatch(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.replay:
+        return _run_replay(args.replay)
+
+    seeds = args.seeds
+    profiles = args.profiles
+    if args.smoke:
+        seeds = min(seeds, 2)
+        profiles = [p for p in profiles if p != "stall-large"]
+    for protocol in args.protocols:
+        if protocol not in protocol_names():
+            raise ConfigError(
+                f"unknown protocol {protocol!r}; known: {protocol_names()}"
+            )
+    for behavior in args.behaviors:
+        if behavior not in BEHAVIORS:
+            raise ConfigError(f"unknown behavior {behavior!r}; known: {BEHAVIORS}")
+    for profile in profiles:
+        if profile not in PROFILES:
+            raise ConfigError(f"unknown adversary profile {profile!r}; known: {PROFILES}")
+    grid = default_grid(
+        seeds_per_combo=seeds,
+        protocols=args.protocols,
+        behaviors=args.behaviors,
+        profiles=profiles,
+    )
+    if args.list:
+        for scenario in grid:
+            print(scenario.scenario_id)
+        return 0
+    if not grid:
+        raise ConfigError(
+            "empty scenario grid — check --seeds/--protocols/--behaviors/--profiles"
+        )
+
+    combos = len(grid) // seeds
+    print(
+        f"repro.check: sweeping {len(grid)} scenarios "
+        f"({combos} combos x {seeds} seeds, jobs={args.jobs})"
+    )
+    results = run_sweep(grid, jobs=args.jobs)
+    failures = _print_report(results)
+
+    demo_ok = True
+    if not args.no_demo:
+        print("\nE10 demonstration (alterbft, header relay OFF, equivocating leader):")
+        demo = run_demo()
+        if demo is None:
+            print(f"  no agreement violation within {DEMO_SEED_LIMIT} seeds — expected a fork!")
+            demo_ok = False
+        else:
+            result, identical = demo
+            agreement = next(r for r in result.results if r.name == AGREEMENT)
+            print(f"  VIOLATION reproduced at {result.scenario.scenario_id}")
+            print(f"    {agreement}")
+            print(f"    replay: {replay_command(result.scenario)}")
+            print(f"    fingerprint: {result.fingerprint}")
+            print(f"    re-run byte-identical: {identical}")
+            demo_ok = identical
+
+    return 0 if failures == 0 and demo_ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

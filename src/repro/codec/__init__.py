@@ -1,6 +1,14 @@
 """Deterministic binary wire codec and the message type-id registry."""
 
-from .core import CodecError, decode, encode, encoded_size, register, registered_type_id
+from .core import (
+    CodecError,
+    decode,
+    encode,
+    encoded_size,
+    register,
+    registered_type_id,
+    registered_types,
+)
 
 __all__ = [
     "CodecError",
@@ -9,4 +17,5 @@ __all__ = [
     "encoded_size",
     "register",
     "registered_type_id",
+    "registered_types",
 ]

@@ -76,6 +76,15 @@ def registered_type_id(cls: Type) -> int:
         raise CodecError(f"{cls.__name__} is not a registered wire type") from None
 
 
+def registered_types() -> Dict[int, Type]:
+    """Snapshot of the wire registry: type id → dataclass.
+
+    Test harnesses enumerate this to guarantee every registered message
+    type has wire coverage — a new message cannot ship without it.
+    """
+    return dict(_registry_by_id)
+
+
 def _write_varint(out: List[bytes], value: int) -> None:
     if value < 0:
         raise CodecError("varint must be non-negative")

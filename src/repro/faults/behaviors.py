@@ -10,10 +10,18 @@ Available behaviors:
   timers at time ``t`` (default 0: never participates).
 * ``silent`` — Byzantine silence: processes everything, sends nothing.
 * ``equivocate`` — a Byzantine leader proposes two conflicting blocks at
-  every height it leads, sending each to half the cluster (AlterBFT and
-  Sync HotStuff; the header-relay mechanism is what catches this).
-* ``withhold_payload`` — an AlterBFT leader sends headers but withholds
-  payloads from everyone (exercises the payload-repair and blame paths).
+  every height it leads, sending each to half the cluster.  Supported for
+  every protocol in the library: AlterBFT and Sync HotStuff (the
+  header-relay mechanism is what catches this), HotStuff (quorum
+  intersection catches it), and PBFT (prepare-quorum intersection).
+* ``withhold_payload`` — a Byzantine leader disseminates as little of its
+  proposal as the protocol's message structure allows.  For AlterBFT this
+  is the interesting split: headers go out, payloads are withheld and
+  repair requests denied (exercising payload-repair and blame paths).
+  Protocols whose proposals are one combined message cannot separate the
+  payload, so withholding degenerates to suppressing proposal-class
+  messages toward every peer (the cluster sees a mute leader and must
+  change views).
 * ``delay_send`` — sends every message as late as the small-message bound
   allows (the strongest *model-respecting* timing adversary).
 """
@@ -22,14 +30,25 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
+from ..baselines.hotstuff import HotStuffReplica
+from ..baselines.pbft import PREPARE_PHASE, PBFTReplica
+from ..baselines.sync_hotstuff import SyncHotStuffReplica
 from ..consensus.replica import BaseReplica
 from ..core.protocol import AlterBFTReplica
 from ..errors import ConfigError
 from ..net.simnet import SimNetwork
 from ..sim.scheduler import Scheduler
-from ..types.block import make_block
-from ..types.certificates import Vote
-from ..types.messages import PayloadMsg, ProposalHeaderMsg, SHProposalMsg, VoteMsg
+from ..types.block import Block, make_block
+from ..types.certificates import QuorumCertificate, Vote
+from ..types.messages import (
+    HSProposalMsg,
+    PayloadMsg,
+    PBFTPrepareMsg,
+    PBFTPrePrepareMsg,
+    ProposalHeaderMsg,
+    SHProposalMsg,
+    VoteMsg,
+)
 
 #: Behavior application signature.
 Behavior = Callable[[BaseReplica, SimNetwork, Scheduler], None]
@@ -56,9 +75,23 @@ def apply_behavior(
     elif name == "silent":
         _apply_silent(replica)
     elif name == "equivocate":
-        _apply_equivocate(replica)
+        if isinstance(replica, AlterBFTReplica):
+            _apply_equivocate(replica)
+        elif isinstance(replica, HotStuffReplica):
+            _apply_equivocate_hotstuff(replica)
+        elif isinstance(replica, PBFTReplica):
+            _apply_equivocate_pbft(replica)
+        else:
+            raise ConfigError(
+                f"equivocate behavior not supported for {type(replica).__name__}"
+            )
     elif name == "withhold_payload":
-        _apply_withhold_payload(replica)
+        if isinstance(replica, SyncHotStuffReplica) or not isinstance(
+            replica, AlterBFTReplica
+        ):
+            _apply_withhold_proposals(replica, network)
+        else:
+            _apply_withhold_payload(replica)
     elif name == "delay_send":
         _apply_delay_send(replica, scheduler)
     else:
@@ -123,6 +156,36 @@ class _MutedContext:
 # ----------------------------------------------------------------------
 
 
+def _poisoned_variants(
+    replica: BaseReplica, epoch: int, height: int, parent: bytes
+) -> Tuple[Block, Block]:
+    """Two conflicting blocks for the same slot, from one mempool batch.
+
+    Each variant carries a distinct marker transaction so the two blocks
+    hash differently even when the batch is empty.
+    """
+    from ..types.transaction import Transaction
+
+    batch = replica.mempool.take_batch(
+        replica.config.max_batch, replica.config.max_payload_bytes
+    )
+    variants = []
+    for marker in (b"\x00", b"\xff"):
+        poison = Transaction(
+            client_id=replica.replica_id, seq=-1, submitted_at=replica.now, payload=marker
+        )
+        variants.append(
+            make_block(
+                epoch=epoch,
+                height=height,
+                parent=parent,
+                transactions=tuple(batch) + (poison,),
+                proposer=replica.replica_id,
+            )
+        )
+    return variants[0], variants[1]
+
+
 def _apply_equivocate(replica: BaseReplica) -> None:
     if not isinstance(replica, AlterBFTReplica):
         raise ConfigError("equivocate behavior requires an AlterBFT-family replica")
@@ -133,26 +196,9 @@ def _apply_equivocate(replica: BaseReplica) -> None:
         if replica.state != ACTIVE or not replica.is_leader(replica.epoch):
             return
         justify = replica.high_qc
-        batch = replica.mempool.take_batch(
-            replica.config.max_batch, replica.config.max_payload_bytes
+        block_a, block_b = _poisoned_variants(
+            replica, replica.epoch, justify.height + 1, justify.block_hash
         )
-        variants = []
-        for marker in (b"\x00", b"\xff"):
-            from ..types.transaction import Transaction
-
-            poison = Transaction(
-                client_id=replica.replica_id, seq=-1, submitted_at=replica.now, payload=marker
-            )
-            variants.append(
-                make_block(
-                    epoch=replica.epoch,
-                    height=justify.height + 1,
-                    parent=justify.block_hash,
-                    transactions=tuple(batch) + (poison,),
-                    proposer=replica.replica_id,
-                )
-            )
-        block_a, block_b = variants
         replica._proposed_in_epoch = True
         half = (replica.validators.n + 1) // 2
         combined = replica.protocol_name == "sync-hotstuff"
@@ -236,6 +282,131 @@ def _apply_withhold_payload(replica: BaseReplica) -> None:
 
     replica._propose_block = propose_header_only  # type: ignore[method-assign]
     replica.on_payload_request = deny_payload_request  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------------
+# Cross-protocol equivocation (HotStuff, PBFT)
+# ----------------------------------------------------------------------
+
+
+def _apply_equivocate_hotstuff(replica: HotStuffReplica) -> None:
+    """Byzantine HotStuff leader: two conflicting proposals per led view.
+
+    Variant A goes to the lower half of the cluster, variant B to the
+    upper half, and the leader votes for *both* toward the next leader —
+    the strongest push toward two certificates.  With n = 3f+1 any two
+    quorums intersect in an honest replica, so at most one variant can be
+    certified: the attack must be harmless, which is exactly what the
+    agreement checker asserts.
+    """
+
+    def propose_twice(force: bool = False) -> None:
+        if not replica.is_leader(replica.view) or replica.view in replica._proposed_views:
+            return
+        justify = replica.high_qc
+        block_a, block_b = _poisoned_variants(
+            replica, replica.view, justify.height + 1, justify.block_hash
+        )
+        replica._proposed_views.add(replica.view)
+        half = (replica.validators.n + 1) // 2
+        for dst in range(replica.validators.n):
+            if dst == replica.replica_id:
+                continue
+            block = block_a if dst < half else block_b
+            replica.send(
+                dst,
+                HSProposalMsg(
+                    block=block,
+                    signature=replica.sign_proposal(block.block_hash),
+                    justify=justify,
+                ),
+            )
+        next_leader = replica.validators.leader_of(replica.view + 1)
+        if next_leader != replica.replica_id:
+            for block in (block_a, block_b):
+                vote = Vote.create(
+                    replica.signer,
+                    replica.protocol_name,
+                    block.epoch,
+                    block.height,
+                    block.block_hash,
+                )
+                replica.send(next_leader, VoteMsg(vote=vote))
+        replica.trace("byz_equivocate", view=replica.view, height=justify.height + 1)
+
+    replica._propose = propose_twice  # type: ignore[method-assign]
+
+
+def _apply_equivocate_pbft(replica: PBFTReplica) -> None:
+    """Byzantine PBFT leader: two conflicting pre-prepares per sequence.
+
+    The leader accepts variant A locally (so its own pipeline keeps
+    producing fresh equivocations as A prepares) and prepare-votes for
+    both variants toward everyone.  Prepare quorums of 2f+1 out of 3f+1
+    intersect in an honest replica, so at most one variant can prepare.
+    """
+
+    def propose_twice(force: bool = False) -> None:
+        if not replica.is_leader(replica.view) or replica.in_view_change:
+            return
+        tip_seq, tip_hash = replica._chain_tip()
+        seq = tip_seq + 1
+        block_a, block_b = _poisoned_variants(replica, replica.view, seq, tip_hash)
+        replica._accepted.setdefault(replica.view, {})[seq] = block_a
+        replica.store.add_block(block_a)
+        half = (replica.validators.n + 1) // 2
+        for dst in range(replica.validators.n):
+            if dst == replica.replica_id:
+                continue
+            block = block_a if dst < half else block_b
+            replica.send(
+                dst,
+                PBFTPrePrepareMsg(
+                    view=replica.view,
+                    seq=seq,
+                    block=block,
+                    signature=replica.sign_proposal(block.block_hash),
+                ),
+            )
+        for block in (block_a, block_b):
+            vote = Vote.create(
+                replica.signer,
+                replica.protocol_name,
+                replica.view,
+                seq,
+                block.block_hash,
+                phase=PREPARE_PHASE,
+            )
+            for dst in range(replica.validators.n):
+                if dst != replica.replica_id:
+                    replica.send(dst, PBFTPrepareMsg(vote=vote))
+        replica.trace("byz_equivocate", view=replica.view, seq=seq)
+
+    replica._propose_next = propose_twice  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------------
+# Proposal suppression (withholding for combined-proposal protocols)
+# ----------------------------------------------------------------------
+
+#: Message types a withholding leader suppresses: everything that carries
+#: or repairs a proposal's payload.  Small control traffic (votes, blames,
+#: view changes) still flows — the leader looks live but proposes nothing.
+_WITHHOLDABLE_TYPES = (
+    SHProposalMsg,
+    HSProposalMsg,
+    PBFTPrePrepareMsg,
+    PayloadMsg,
+)
+
+
+def _apply_withhold_proposals(replica: BaseReplica, network: SimNetwork) -> None:
+    faulty_id = replica.replica_id
+
+    def suppress(src: int, dst: int, msg: object, size: int) -> bool:
+        return src != faulty_id or not isinstance(msg, _WITHHOLDABLE_TYPES)
+
+    network.add_filter(suppress)
 
 
 # ----------------------------------------------------------------------

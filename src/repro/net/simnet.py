@@ -29,6 +29,13 @@ MessageHandler = Callable[[int, object], None]
 #: consulted in registration order; any False drops the message.
 MessageFilter = Callable[[int, int, object, int], bool]
 
+#: Delay-policy signature: policy(src, dst, msg, size, model_delay) -> delay.
+#: The configured delay model is sampled first (so installing a policy never
+#: perturbs the RNG draws other components see); the policy may return the
+#: model's delay unchanged, substitute its own, or None to drop the message.
+#: This is the layering point for adversarial schedulers (repro.check).
+DelayPolicy = Callable[[int, int, object, int, Optional[float]], Optional[float]]
+
 #: Delay a node's loopback messages experience (scheduling, not network).
 LOOPBACK_DELAY = 1e-6
 
@@ -57,6 +64,7 @@ class SimNetwork:
         self._handlers: Dict[int, MessageHandler] = {}
         self._partition: Optional[Tuple[FrozenSet[int], ...]] = None
         self._filters: List[MessageFilter] = []
+        self._delay_policy: Optional[DelayPolicy] = None
         self._down: set = set()
         self._egress_free: Dict[int, float] = {}
 
@@ -83,6 +91,10 @@ class SimNetwork:
     def add_filter(self, fn: MessageFilter) -> None:
         """Install a drop filter (fault injection hook)."""
         self._filters.append(fn)
+
+    def set_delay_policy(self, fn: Optional[DelayPolicy]) -> None:
+        """Install (or clear) a delay policy overriding the model's samples."""
+        self._delay_policy = fn
 
     def take_down(self, node_id: int) -> None:
         """Crash a node: it neither sends nor receives from now on."""
@@ -120,6 +132,8 @@ class SimNetwork:
                 self.trace.emit(self.scheduler.now, "msg_filtered", src, dst=dst)
                 return
         delay = self.delay_model.sample(self._rng, src, dst, size)
+        if self._delay_policy is not None:
+            delay = self._delay_policy(src, dst, msg, size, delay)
         if delay is None:
             self.trace.emit(self.scheduler.now, "msg_dropped", src, dst=dst)
             return

@@ -6,6 +6,7 @@ Subcommands:
 * ``suite`` — the paper's experiment suite (delegates to
   :mod:`repro.bench`).
 * ``probe`` — the cloud delay characterization, printed as a table.
+* ``check`` — the verification sweep (delegates to :mod:`repro.check`).
 """
 
 from __future__ import annotations
@@ -83,6 +84,12 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from ..check import main as check_main
+
+    return check_main(args.check_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="alterbft-bench")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -114,10 +121,25 @@ def build_parser() -> argparse.ArgumentParser:
     probe_p = sub.add_parser("probe", help="delay characterization table")
     probe_p.add_argument("--samples", type=int, default=5000)
     probe_p.set_defaults(func=_cmd_probe)
+
+    check_p = sub.add_parser(
+        "check",
+        help="invariant sweep over seeded fault/adversary scenarios",
+        add_help=False,
+    )
+    check_p.add_argument("check_args", nargs=argparse.REMAINDER)
+    check_p.set_defaults(func=_cmd_check)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # argparse's REMAINDER refuses leading options (e.g. `check --smoke`),
+    # so the check subcommand is dispatched before the main parser runs.
+    if argv and argv[0] == "check":
+        from ..check import main as check_main
+
+        return check_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

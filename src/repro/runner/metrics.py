@@ -34,6 +34,10 @@ class MetricsCollector:
         self._block_first_commit: Dict[bytes, float] = {}
         self._block_proposed_at: Dict[bytes, float] = {}
         self.commits_per_replica: Dict[int, int] = {}
+        #: Per-replica commit timestamps, in commit order — the liveness
+        #: invariant checkers (repro.check) measure commit gaps per honest
+        #: replica, not just cluster-wide firsts.
+        self.commit_times_by_replica: Dict[int, List[float]] = {}
         self.last_commit_time = 0.0
 
     def make_listener(self, replica_id: int):
@@ -51,6 +55,7 @@ class MetricsCollector:
         if replica_id not in self.honest_ids:
             return
         self.commits_per_replica[replica_id] = self.commits_per_replica.get(replica_id, 0) + 1
+        self.commit_times_by_replica.setdefault(replica_id, []).append(now)
         self.last_commit_time = max(self.last_commit_time, now)
         if block.block_hash not in self._block_first_commit:
             self._block_first_commit[block.block_hash] = now

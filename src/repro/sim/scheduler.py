@@ -22,16 +22,27 @@ from ..errors import SimulationError
 class EventHandle:
     """Cancellation token for a scheduled event."""
 
-    __slots__ = ("time", "seq", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "_scheduler")
 
-    def __init__(self, time: float, seq: int) -> None:
+    def __init__(self, time: float, seq: int, scheduler: "Optional[Scheduler]" = None) -> None:
         self.time = time
         self.seq = seq
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._scheduler is not None:
+                self._scheduler._note_cancelled()
+
+
+#: Compact the queue once cancelled events outnumber live ones and the
+#: queue is at least this large.  Long adversarial runs cancel far-future
+#: timers by the thousands; without compaction they pin memory until their
+#: (possibly distant) deadlines drain off the heap.
+COMPACT_MIN_QUEUE = 256
 
 
 class Scheduler:
@@ -42,6 +53,8 @@ class Scheduler:
         self._queue: List[Tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -58,13 +71,39 @@ class Scheduler:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Number of queued events already cancelled (awaiting compaction)."""
+        return self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """Number of lazy heap compactions performed (for diagnostics)."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """A handle in the queue was cancelled; compact when they dominate."""
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= COMPACT_MIN_QUEUE
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors."""
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self._compactions += 1
+
     def at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time:.6f}, now is {self._now:.6f}"
             )
-        handle = EventHandle(time, next(self._seq))
+        handle = EventHandle(time, next(self._seq), self)
         heapq.heappush(self._queue, (time, handle.seq, handle, fn, args))
         return handle
 
@@ -79,6 +118,7 @@ class Scheduler:
         while self._queue:
             time, _seq, handle, fn, args = heapq.heappop(self._queue)
             if handle.cancelled:
+                self._cancelled_pending = max(0, self._cancelled_pending - 1)
                 continue
             self._now = time
             self._events_processed += 1
@@ -122,6 +162,7 @@ class Scheduler:
             time, _seq, handle, _fn, _args = self._queue[0]
             if handle.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled_pending = max(0, self._cancelled_pending - 1)
                 continue
             return time
         return None

@@ -8,6 +8,7 @@ keeping counters, which cost almost nothing.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -60,3 +61,19 @@ class Trace:
             "by_type": dict(self.messages_by_type),
             "counters": dict(self.counters),
         }
+
+    def fingerprint(self, extra: Optional[bytes] = None) -> str:
+        """Deterministic digest of every counter this trace accumulated.
+
+        Two runs of the same seeded scenario must produce byte-identical
+        fingerprints — the replay harness (:mod:`repro.check`) relies on
+        this to prove a reproduced failure is the *same* failure.  ``extra``
+        lets callers fold additional run state (e.g. ledger hashes) in.
+        """
+        hasher = hashlib.sha256()
+        for counter in (self.counters, self.bytes_sent_by_node, self.messages_by_type):
+            for key in sorted(counter, key=repr):
+                hasher.update(f"{key!r}={counter[key]};".encode("utf-8"))
+        if extra:
+            hasher.update(extra)
+        return hasher.hexdigest()

@@ -1,0 +1,318 @@
+"""Verification harness: invariants, adversary bounds, sweep, replay."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.check import (
+    AGREEMENT,
+    BOUNDED_GAP,
+    CERTIFIED_CHAIN,
+    ModelBoundedAdversary,
+    Scenario,
+    check_agreement,
+    check_bounded_gap,
+    check_certified_chain,
+    e10_demo_scenario,
+    install_adversary,
+    parse_scenario_id,
+    replay_command,
+    run_scenario,
+    run_sweep,
+)
+from repro.check.scenarios import build_config, default_grid
+from repro.consensus.ledger import Ledger
+from repro.errors import ConfigError
+from repro.runner.cluster import build_cluster
+from repro.sim.scheduler import Scheduler
+from repro.types.block import make_block
+from repro.types.transaction import Transaction
+
+
+def _tx(seq: int, payload: bytes = b"x") -> Transaction:
+    return Transaction(client_id=0, seq=seq, submitted_at=0.0, payload=payload)
+
+
+def _ledger_with(*tx_payloads: bytes) -> Ledger:
+    """A ledger committing one block per payload, chained from genesis."""
+    ledger = Ledger()
+    for height, payload in enumerate(tx_payloads, start=1):
+        block = make_block(
+            epoch=height,
+            height=height,
+            parent=ledger.head.block_hash,
+            transactions=(_tx(height, payload),),
+            proposer=0,
+        )
+        ledger.commit(block, now=float(height))
+    return ledger
+
+
+@dataclasses.dataclass(frozen=True)
+class _FakeQC:
+    block_hash: bytes
+
+
+def _fake_cluster(replicas, honest_ids, max_sim_time=10.0, commit_times=None):
+    return SimpleNamespace(
+        replicas=replicas,
+        honest_ids=honest_ids,
+        config=SimpleNamespace(max_sim_time=max_sim_time),
+        collector=SimpleNamespace(commit_times_by_replica=commit_times or {}),
+    )
+
+
+def _fake_replica(replica_id, ledger, qcs=(), verify=lambda qc: True):
+    return SimpleNamespace(
+        replica_id=replica_id,
+        ledger=ledger,
+        _qcs={i: qc for i, qc in enumerate(qcs)},
+        high_qc=None,
+        verify_qc=verify,
+    )
+
+
+class TestAgreement:
+    def test_identical_ledgers_agree(self):
+        cluster = _fake_cluster(
+            [
+                _fake_replica(0, _ledger_with(b"a", b"b")),
+                _fake_replica(1, _ledger_with(b"a", b"b")),
+            ],
+            honest_ids={0, 1},
+        )
+        assert check_agreement(cluster).ok
+
+    def test_prefix_is_agreement(self):
+        cluster = _fake_cluster(
+            [
+                _fake_replica(0, _ledger_with(b"a", b"b")),
+                _fake_replica(1, _ledger_with(b"a")),
+            ],
+            honest_ids={0, 1},
+        )
+        assert check_agreement(cluster).ok
+
+    def test_conflicting_commit_detected(self):
+        cluster = _fake_cluster(
+            [
+                _fake_replica(0, _ledger_with(b"a", b"b")),
+                _fake_replica(1, _ledger_with(b"a", b"CONFLICT")),
+            ],
+            honest_ids={0, 1},
+        )
+        result = check_agreement(cluster)
+        assert not result.ok
+        assert result.name == AGREEMENT
+        assert "height 2" in result.detail
+
+    def test_faulty_replica_ignored(self):
+        cluster = _fake_cluster(
+            [
+                _fake_replica(0, _ledger_with(b"a")),
+                _fake_replica(1, _ledger_with(b"CONFLICT")),
+            ],
+            honest_ids={0},
+        )
+        assert check_agreement(cluster).ok
+
+
+class TestCertifiedChain:
+    def test_committed_block_without_certificate_flagged(self):
+        cluster = _fake_cluster(
+            [_fake_replica(0, _ledger_with(b"a"))], honest_ids={0}
+        )
+        result = check_certified_chain(cluster)
+        assert not result.ok
+        assert result.name == CERTIFIED_CHAIN
+        assert "no valid QC" in result.detail
+
+    def test_certificate_anywhere_in_cluster_suffices(self):
+        ledger = _ledger_with(b"a")
+        qc = _FakeQC(block_hash=ledger.head.block_hash)
+        holder = _fake_replica(1, _ledger_with(b"a"), qcs=[qc])
+        cluster = _fake_cluster(
+            [_fake_replica(0, ledger), holder], honest_ids={0, 1}
+        )
+        assert check_certified_chain(cluster).ok
+
+    def test_invalid_certificate_rejected(self):
+        ledger = _ledger_with(b"a")
+        qc = _FakeQC(block_hash=ledger.head.block_hash)
+        replica = _fake_replica(0, ledger, qcs=[qc], verify=lambda qc: False)
+        cluster = _fake_cluster([replica], honest_ids={0})
+        assert not check_certified_chain(cluster).ok
+
+
+class TestBoundedGap:
+    def test_regular_commits_pass(self):
+        cluster = _fake_cluster(
+            [_fake_replica(0, Ledger())],
+            honest_ids={0},
+            max_sim_time=10.0,
+            commit_times={0: [2.5, 3.0, 4.0, 5.5, 7.0, 8.5, 9.5]},
+        )
+        assert check_bounded_gap(cluster, recovery_time=2.0, gap_bound=2.0).ok
+
+    def test_long_gap_flagged(self):
+        cluster = _fake_cluster(
+            [_fake_replica(0, Ledger())],
+            honest_ids={0},
+            max_sim_time=10.0,
+            commit_times={0: [2.5, 9.5]},
+        )
+        result = check_bounded_gap(cluster, recovery_time=2.0, gap_bound=2.0)
+        assert not result.ok
+        assert result.name == BOUNDED_GAP
+
+    def test_silent_replica_flagged(self):
+        cluster = _fake_cluster(
+            [_fake_replica(0, Ledger())],
+            honest_ids={0},
+            max_sim_time=10.0,
+            commit_times={},
+        )
+        assert not check_bounded_gap(cluster, recovery_time=2.0, gap_bound=2.0).ok
+
+    def test_short_window_vacuous(self):
+        cluster = _fake_cluster(
+            [_fake_replica(0, Ledger())], honest_ids={0}, max_sim_time=3.0
+        )
+        assert check_bounded_gap(cluster, recovery_time=2.0, gap_bound=2.0).ok
+
+
+class TestAdversary:
+    def _adversary(self, profile, start_time=0.0, seed=7):
+        return ModelBoundedAdversary(
+            profile,
+            NetworkConfig(),
+            Scheduler(start_time=start_time),
+            random.Random(seed),
+        )
+
+    def test_calibrated_installs_no_policy(self):
+        assert self._adversary("calibrated").policy() is None
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            self._adversary("chaos-monkey")
+
+    def test_small_messages_never_exceed_bound(self):
+        network = NetworkConfig()
+        for profile in ("adversarial", "stall-large"):
+            adversary = self._adversary(profile)
+            policy = adversary.policy()
+            for i in range(2000):
+                delay = policy(i % 3, (i + 1) % 3, object(), 200, 0.001)
+                assert delay is not None
+                assert 0.0 < delay < network.small_bound
+
+    def test_small_delays_deterministic_per_seed(self):
+        def draws(seed):
+            policy = self._adversary("adversarial", seed=seed).policy()
+            return [policy(0, 1, object(), 100, 0.001) for _ in range(50)]
+
+        assert draws(1) == draws(1)
+        assert draws(1) != draws(2)
+
+    def test_stall_large_holds_cross_cut_messages(self):
+        adversary = self._adversary("stall-large", start_time=1.2)
+        policy = adversary.policy()
+        # Crossing the even/odd cut inside the window: held past window end.
+        held = policy(0, 1, object(), 50_000, 0.002)
+        assert held >= 0.4  # window ends at 1.6, now is 1.2
+        # Same side of the cut: model delay untouched.
+        assert policy(0, 2, object(), 50_000, 0.002) == 0.002
+        assert adversary.stalled == 1
+
+    def test_stall_large_outside_window_untouched(self):
+        policy = self._adversary("stall-large", start_time=3.0).policy()
+        assert policy(0, 1, object(), 50_000, 0.002) == 0.002
+
+    def test_adversarial_large_adds_bounded_extra(self):
+        policy = self._adversary("adversarial").policy()
+        for _ in range(500):
+            delay = policy(0, 1, object(), 50_000, 0.010)
+            assert delay is not None  # anonymous type is never droppable
+            assert 0.010 <= delay <= 0.010 + 0.10 + 1e-9
+
+
+class TestScenarios:
+    def test_id_roundtrip(self):
+        scenario = Scenario("alterbft", "equivocate", "adversarial", 3)
+        assert parse_scenario_id(scenario.scenario_id) == scenario
+
+    def test_id_roundtrip_with_flags(self):
+        scenario = Scenario(
+            "alterbft", "equivocate", "calibrated", 5, relay_headers=False, duration=8.0
+        )
+        parsed = parse_scenario_id(scenario.scenario_id)
+        assert parsed == scenario
+        assert "norelay" in scenario.scenario_id
+
+    def test_bad_ids_rejected(self):
+        for bad in ("alterbft:crash", "a:b:calibrated:x", "a:b:nope:1", "a:b:calibrated:1:wat"):
+            with pytest.raises(ConfigError):
+                parse_scenario_id(bad)
+
+    def test_replay_command_names_the_scenario(self):
+        scenario = e10_demo_scenario(4)
+        assert scenario.scenario_id in replay_command(scenario)
+
+    def test_default_grid_clears_acceptance_floor(self):
+        grid = default_grid()
+        assert len(grid) >= 200
+        assert len(set(s.scenario_id for s in grid)) == len(grid)
+
+    def test_configs_validate(self):
+        for scenario in default_grid(seeds_per_combo=1):
+            build_config(scenario).validate()
+
+
+class TestSweep:
+    def test_scenario_passes_and_replays_identically(self):
+        scenario = parse_scenario_id("alterbft:none:adversarial:1")
+        first = run_scenario(scenario)
+        assert first.ok, [str(v) for v in first.violations]
+        second = run_scenario(scenario)
+        assert second.fingerprint == first.fingerprint
+
+    def test_adversary_profile_changes_the_run(self):
+        calibrated = run_scenario(parse_scenario_id("alterbft:none:calibrated:1"))
+        adversarial = run_scenario(parse_scenario_id("alterbft:none:adversarial:1"))
+        assert calibrated.fingerprint != adversarial.fingerprint
+
+    def test_calibrated_profile_is_invisible(self):
+        """Installing the 'calibrated' adversary must not perturb a run."""
+        scenario = parse_scenario_id("alterbft:none:calibrated:1:dur3")
+        config = build_config(scenario)
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.run()
+        bare = cluster.trace.fingerprint()
+
+        cluster2 = build_cluster(config)
+        install_adversary(cluster2, "calibrated")
+        cluster2.start()
+        cluster2.run()
+        assert cluster2.trace.fingerprint() == bare
+
+    def test_relay_off_fork_detected_and_deterministic(self):
+        """The E10 ablation: the harness must catch the fork, repeatably."""
+        result = run_scenario(e10_demo_scenario(1))
+        agreement = next(r for r in result.results if r.name == AGREEMENT)
+        assert not agreement.ok
+        rerun = run_scenario(e10_demo_scenario(1))
+        assert rerun.fingerprint == result.fingerprint
+
+    @pytest.mark.slow
+    def test_mini_sweep_all_combos_clean(self):
+        grid = default_grid(seeds_per_combo=1)
+        results = run_sweep(grid, jobs=1, progress=False)
+        failing = [r.scenario.scenario_id for r in results if not r.ok]
+        assert failing == []

@@ -93,7 +93,8 @@ class TestSilent:
 
 
 class TestBehaviorTargets:
-    def test_equivocate_requires_alterbft_family(self):
+    def test_equivocate_supported_on_every_protocol_family(self):
+        """Byzantine behaviors now have per-protocol implementations."""
         from repro.baselines.pbft import PBFTReplica
         from repro.crypto.keystore import build_cluster_keys
 
@@ -106,7 +107,7 @@ class TestBehaviorTargets:
             ProtocolConfig(n=4, f=1),
             signers[0],
         )
-        with pytest.raises(ConfigError):
-            apply_behavior("equivocate", pbft, network, scheduler)
-        with pytest.raises(ConfigError):
-            apply_behavior("withhold_payload", pbft, network, scheduler)
+        # Neither raises: PBFT equivocates via split pre-prepares, and
+        # withholding degenerates to suppressing the leader's proposals.
+        apply_behavior("equivocate", pbft, network, scheduler)
+        apply_behavior("withhold_payload", pbft, network, scheduler)

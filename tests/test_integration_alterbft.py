@@ -41,16 +41,19 @@ class TestSteadyState:
         assert a.latency.p50 == b.latency.p50
         assert a.messages == b.messages
 
+    @pytest.mark.slow
     def test_different_seeds_differ(self):
         a = run_experiment(quick_config("alterbft", seed=1))
         b = run_experiment(quick_config("alterbft", seed=2))
         assert a.messages != b.messages
 
+    @pytest.mark.slow
     def test_saturation_mode(self):
         result = run_experiment(quick_config("alterbft", rate=None, duration=4.0))
         assert result.safety_ok
         assert result.throughput_tps > 1000
 
+    @pytest.mark.slow
     def test_larger_cluster(self):
         result = run_experiment(quick_config("alterbft", f=3, duration=4.0))
         assert result.n == 7
@@ -104,7 +107,9 @@ class TestFaultTolerance:
         assert result.safety_ok
         assert result.committed_txs > 300
 
-    @pytest.mark.parametrize("seed", [3, 7, 11])
+    @pytest.mark.parametrize(
+        "seed", [3] + [pytest.param(s, marks=pytest.mark.slow) for s in (7, 11)]
+    )
     def test_byzantine_leader_across_seeds(self, seed):
         result = run_experiment(
             quick_config("alterbft", duration=7.0, seed=seed, faults=((1, "equivocate"),))
@@ -121,6 +126,7 @@ class TestAblations:
         )
         assert not result.safety_ok  # the mechanism is load-bearing
 
+    @pytest.mark.slow
     def test_vote_on_header_stalls_under_withholding(self):
         ok = run_experiment(
             quick_config("alterbft", duration=8.0, faults=((1, "withhold_payload"),))

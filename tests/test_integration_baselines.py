@@ -21,6 +21,7 @@ class TestSyncHotStuff:
         result = run_experiment(quick_config("sync-hotstuff"))
         assert result.latency.p50 >= 0.2
 
+    @pytest.mark.slow
     def test_throughput_matches_alterbft(self):
         """Same certification pipeline → similar throughput despite the
         enormous latency difference (the paper's claim)."""
@@ -36,6 +37,7 @@ class TestSyncHotStuff:
         assert result.epoch_changes >= 1
         assert result.committed_txs > 200
 
+    @pytest.mark.slow
     def test_equivocation_detected_and_safe(self):
         result = run_experiment(
             quick_config("sync-hotstuff", duration=10.0, faults=((1, "equivocate"),))
@@ -43,6 +45,7 @@ class TestSyncHotStuff:
         assert result.safety_ok
         assert result.epoch_changes >= 1
 
+    @pytest.mark.slow
     def test_deterministic(self):
         a = run_experiment(quick_config("sync-hotstuff", seed=5))
         b = run_experiment(quick_config("sync-hotstuff", seed=5))
@@ -125,6 +128,7 @@ class TestPBFT:
         assert result.safety_ok
         assert result.committed_txs > 300
 
+    @pytest.mark.slow
     def test_deterministic(self):
         a = run_experiment(quick_config("pbft", seed=3))
         b = run_experiment(quick_config("pbft", seed=3))

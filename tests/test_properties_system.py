@@ -29,7 +29,9 @@ def random_fault(rng: random.Random, protocol: str, n: int):
 
 
 class TestRandomizedSafety:
-    @pytest.mark.parametrize("trial", range(6))
+    @pytest.mark.parametrize(
+        "trial", [0] + [pytest.param(t, marks=pytest.mark.slow) for t in range(1, 6)]
+    )
     def test_alterbft_random_single_fault(self, trial):
         rng = random.Random(1000 + trial)
         fault = random_fault(rng, "alterbft", 3)
@@ -43,7 +45,9 @@ class TestRandomizedSafety:
         )
         assert result.safety_ok, f"fork with fault {fault}"
 
-    @pytest.mark.parametrize("trial", range(3))
+    @pytest.mark.parametrize(
+        "trial", [0] + [pytest.param(t, marks=pytest.mark.slow) for t in (1, 2)]
+    )
     def test_alterbft_f2_two_random_faults(self, trial):
         rng = random.Random(3000 + trial)
         ids = rng.sample(range(5), 2)
@@ -65,7 +69,9 @@ class TestRandomizedSafety:
 
 
 class TestRandomizedLiveness:
-    @pytest.mark.parametrize("seed", [11, 22, 33, 44])
+    @pytest.mark.parametrize(
+        "seed", [11] + [pytest.param(s, marks=pytest.mark.slow) for s in (22, 33, 44)]
+    )
     def test_fault_free_runs_always_commit(self, seed):
         for protocol in ("alterbft", "sync-hotstuff", "hotstuff", "pbft"):
             result = run_experiment(

@@ -136,6 +136,70 @@ class TestErrors:
         assert s.events_processed == 2
 
 
+class TestCompaction:
+    """Lazy removal of cancelled events from the heap."""
+
+    def test_compacts_when_cancelled_dominate(self):
+        s = Scheduler()
+        fired = []
+        handles = [s.at(1000.0 + i, fired.append, i) for i in range(600)]
+        for h in handles[:400]:
+            h.cancel()
+        # The 301st cancel tips the majority (301*2 > 600) and compacts;
+        # the remaining 99 cancels stay lazily queued (198 < 299*... no
+        # second majority on the shrunken queue).
+        assert s.compactions == 1
+        assert s.pending == 600 - 301
+        assert s.cancelled_pending == 99
+        s.run()
+        assert len(fired) == 200
+        assert s.pending == 0
+
+    def test_small_queues_never_compact(self):
+        s = Scheduler()
+        handles = [s.at(10.0 + i, lambda: None) for i in range(100)]
+        for h in handles:
+            h.cancel()
+        assert s.compactions == 0
+        assert s.pending == 100  # cancelled entries drain via run()
+        s.run()
+        assert s.events_processed == 0
+        assert s.pending == 0
+
+    def test_double_cancel_counted_once(self):
+        s = Scheduler()
+        keep = [s.at(5.0, lambda: None) for _ in range(10)]
+        victim = s.at(5.0, lambda: None)
+        victim.cancel()
+        victim.cancel()
+        assert s.cancelled_pending == 1
+        assert s.pending == len(keep) + 1
+
+    def test_cancelled_never_fire_after_compaction(self):
+        s = Scheduler()
+        fired = []
+        handles = [s.at(1.0 + i * 0.001, fired.append, i) for i in range(400)]
+        for h in handles[:250]:
+            h.cancel()
+        assert s.compactions >= 1
+        s.run()
+        assert fired == list(range(250, 400))
+
+    def test_interleaved_schedule_and_cancel_is_consistent(self):
+        s = Scheduler()
+        fired = []
+        live = []
+        for i in range(1200):
+            h = s.at(100.0 + i, fired.append, i)
+            if i % 3 != 0:
+                h.cancel()
+            else:
+                live.append(i)
+        s.run()
+        assert fired == live
+        assert s.events_processed == len(live)
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
 def test_events_fire_in_nondecreasing_time_order(times):
