@@ -4,18 +4,28 @@ from .core import (
     CodecError,
     decode,
     encode,
+    encode_cached,
     encoded_size,
     register,
     registered_type_id,
     registered_types,
+    reset_size_cache_stats,
+    set_size_fast_path,
+    size_cache_stats,
+    size_fast_path_enabled,
 )
 
 __all__ = [
     "CodecError",
     "decode",
     "encode",
+    "encode_cached",
     "encoded_size",
     "register",
     "registered_type_id",
     "registered_types",
+    "reset_size_cache_stats",
+    "set_size_fast_path",
+    "size_cache_stats",
+    "size_fast_path_enabled",
 ]

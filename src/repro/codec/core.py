@@ -15,11 +15,28 @@ stable numeric type id, and its fields are encoded positionally in
 declaration order.  Decoding reconstructs the dataclass.  Encoding is
 deterministic (dict keys are sorted), so digests of encoded values are
 stable across runs and platforms.
+
+Two hot-path shortcuts sit next to the encoder and are used heavily by
+the simulator (which needs *sizes* far more often than bytes):
+
+* :func:`encoded_size` computes the wire size without materializing the
+  byte string, and memoizes the size on frozen registered dataclass
+  instances (under ``_wire_size``), so a header that is relayed hundreds
+  of times is sized exactly once.
+* :func:`encode_cached` memoizes full encodings on frozen registered
+  dataclass instances (under ``_wire_bytes``), so a broadcast over the
+  real transport encodes once per message object, not once per link.
+
+Both caches are safe because registered message types are immutable and
+the encoding is deterministic; mutable (non-frozen) dataclasses are never
+cached.  :func:`set_size_fast_path` disables both shortcuts so tests can
+prove they do not change observable behavior.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import operator
 import struct
 from typing import Any, Callable, Dict, List, Tuple, Type, TypeVar
 
@@ -42,6 +59,45 @@ _TAG_STRUCT = 0x0A
 _registry_by_id: Dict[int, Type] = {}
 _registry_by_type: Dict[Type, int] = {}
 _field_names: Dict[Type, Tuple[str, ...]] = {}
+#: Registered classes whose instances may carry the ``_wire_size`` /
+#: ``_wire_bytes`` memo: frozen (immutable fields) and dict-backed.
+_cacheable: Dict[Type, bool] = {}
+
+#: Instance attribute names used by the memo fast paths.
+SIZE_CACHE_ATTR = "_wire_size"
+BYTES_CACHE_ATTR = "_wire_bytes"
+
+_fast_path_enabled = True
+_size_cache_hits = 0
+_size_cache_misses = 0
+
+
+def set_size_fast_path(enabled: bool) -> None:
+    """Enable/disable the size fast path and instance memoization.
+
+    With the fast path off, :func:`encoded_size` falls back to
+    ``len(encode(value))`` and :func:`encode_cached` to :func:`encode` —
+    the reference semantics the fast paths must be indistinguishable
+    from.  Exists so equivalence and determinism tests can run the same
+    workload both ways.
+    """
+    global _fast_path_enabled
+    _fast_path_enabled = enabled
+
+
+def size_fast_path_enabled() -> bool:
+    return _fast_path_enabled
+
+
+def size_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the per-instance struct size memo."""
+    return {"hits": _size_cache_hits, "misses": _size_cache_misses}
+
+
+def reset_size_cache_stats() -> None:
+    global _size_cache_hits, _size_cache_misses
+    _size_cache_hits = 0
+    _size_cache_misses = 0
 
 
 def register(type_id: int) -> Callable[[Type[_T]], Type[_T]]:
@@ -63,6 +119,11 @@ def register(type_id: int) -> Callable[[Type[_T]], Type[_T]]:
         _registry_by_id[type_id] = cls
         _registry_by_type[cls] = type_id
         _field_names[cls] = tuple(f.name for f in dataclasses.fields(cls))
+        _cacheable[cls] = bool(
+            cls.__dataclass_params__.frozen and getattr(cls, "__slots__", None) is None
+        )
+        _install_struct_sizer(cls, type_id)
+        _install_struct_encoder(cls, type_id)
         return cls
 
     return decorate
@@ -85,16 +146,51 @@ def registered_types() -> Dict[int, Type]:
     return dict(_registry_by_id)
 
 
+#: All 256 one-byte strings, precomputed so the encoder never constructs
+#: single-byte ``bytes`` objects in the hot loop.
+_BYTE = [bytes((i,)) for i in range(256)]
+
+_B_NONE = _BYTE[_TAG_NONE]
+_B_FALSE = _BYTE[_TAG_FALSE]
+_B_TRUE = _BYTE[_TAG_TRUE]
+_B_INT = _BYTE[_TAG_INT]
+_B_FLOAT = _BYTE[_TAG_FLOAT]
+_B_BYTES = _BYTE[_TAG_BYTES]
+_B_STR = _BYTE[_TAG_STR]
+_B_LIST = _BYTE[_TAG_LIST]
+_B_TUPLE = _BYTE[_TAG_TUPLE]
+_B_DICT = _BYTE[_TAG_DICT]
+_B_STRUCT = _BYTE[_TAG_STRUCT]
+
+
+def _fields_getter(names: Tuple[str, ...]) -> Callable[[Any], Tuple[Any, ...]]:
+    """Field-tuple extractor for a registered class, one C call per value.
+
+    ``attrgetter`` with multiple names returns a tuple; with one name it
+    returns the bare value, so wrap that case (a zero-field dataclass
+    gets a constant empty tuple).
+    """
+    if not names:
+        return lambda value: ()
+    if len(names) == 1:
+        single = operator.attrgetter(names[0])
+        return lambda value: (single(value),)
+    return operator.attrgetter(*names)
+
+
 def _write_varint(out: List[bytes], value: int) -> None:
-    if value < 0:
-        raise CodecError("varint must be non-negative")
+    if value < 0x80:
+        if value < 0:
+            raise CodecError("varint must be non-negative")
+        out.append(_BYTE[value])
+        return
     while True:
         byte = value & 0x7F
         value >>= 7
         if value:
-            out.append(bytes((byte | 0x80,)))
+            out.append(_BYTE[byte | 0x80])
         else:
-            out.append(bytes((byte,)))
+            out.append(_BYTE[byte])
             return
 
 
@@ -106,59 +202,134 @@ def _unzigzag(value: int) -> int:
     return (value >> 1) ^ -(value & 1)
 
 
-def _encode_into(value: Any, out: List[bytes]) -> None:
+def _enc_int(value: int, out: List[bytes]) -> None:
+    out.append(_B_INT)
+    _write_varint(out, value * 2 if value >= 0 else -value * 2 - 1)
+
+
+def _enc_float(value: float, out: List[bytes]) -> None:
+    out.append(_B_FLOAT)
+    out.append(struct.pack(">d", value))
+
+
+def _enc_bytes(value: bytes, out: List[bytes]) -> None:
+    out.append(_B_BYTES)
+    _write_varint(out, len(value))
+    out.append(value)
+
+
+def _enc_str(value: str, out: List[bytes]) -> None:
+    data = value.encode("utf-8")
+    out.append(_B_STR)
+    _write_varint(out, len(data))
+    out.append(data)
+
+
+def _enc_list(value: list, out: List[bytes]) -> None:
+    out.append(_B_LIST)
+    _write_varint(out, len(value))
+    for item in value:
+        _encode_into(item, out)
+
+
+def _enc_tuple(value: tuple, out: List[bytes]) -> None:
+    out.append(_B_TUPLE)
+    _write_varint(out, len(value))
+    for item in value:
+        _encode_into(item, out)
+
+
+def _enc_dict(value: dict, out: List[bytes]) -> None:
+    out.append(_B_DICT)
+    _write_varint(out, len(value))
+    try:
+        keys = sorted(value)
+    except TypeError as exc:
+        raise CodecError("dict keys must be sortable for deterministic encoding") from exc
+    for key in keys:
+        _encode_into(key, out)
+        _encode_into(value[key], out)
+
+
+#: Exact-type dispatch for the encoder; registered dataclasses add a
+#: specialized entry (see :func:`_install_struct_encoder`).  Subclasses
+#: fall back to the isinstance mirror in :func:`_encode_general`.
+_ENC_BY_TYPE: Dict[Type, Callable[[Any, List[bytes]], None]] = {
+    type(None): lambda value, out: out.append(_B_NONE),
+    bool: lambda value, out: out.append(_B_TRUE if value else _B_FALSE),
+    int: _enc_int,
+    float: _enc_float,
+    bytes: _enc_bytes,
+    str: _enc_str,
+    list: _enc_list,
+    tuple: _enc_tuple,
+    dict: _enc_dict,
+}
+
+
+def _install_struct_encoder(cls: Type, type_id: int) -> None:
+    """Specialize an encoder for one registered dataclass.
+
+    The tag byte, type id, and field count are constant per class, so
+    they are pre-joined into a single prefix chunk.
+    """
+    names = _field_names[cls]
+    chunks: List[bytes] = [_B_STRUCT]
+    _write_varint(chunks, type_id)
+    _write_varint(chunks, len(names))
+    prefix = b"".join(chunks)
+    dispatch = _ENC_BY_TYPE
+    get_fields = _fields_getter(names)
+
+    def encode_struct(value: Any, out: List[bytes]) -> None:
+        out.append(prefix)
+        for field in get_fields(value):
+            try:
+                handler = dispatch[type(field)]
+            except KeyError:
+                _encode_general(field, out)
+            else:
+                handler(field, out)
+
+    dispatch[cls] = encode_struct
+
+
+def _encode_general(value: Any, out: List[bytes]) -> None:
+    """isinstance-based fallback for subclasses of encodable types."""
     if value is None:
-        out.append(bytes((_TAG_NONE,)))
+        out.append(_B_NONE)
     elif value is False:
-        out.append(bytes((_TAG_FALSE,)))
+        out.append(_B_FALSE)
     elif value is True:
-        out.append(bytes((_TAG_TRUE,)))
+        out.append(_B_TRUE)
     elif isinstance(value, int):
-        out.append(bytes((_TAG_INT,)))
-        _write_varint(out, _zigzag_big(value))
+        _enc_int(value, out)
     elif isinstance(value, float):
-        out.append(bytes((_TAG_FLOAT,)))
-        out.append(struct.pack(">d", value))
+        _enc_float(value, out)
     elif isinstance(value, (bytes, bytearray, memoryview)):
-        data = bytes(value)
-        out.append(bytes((_TAG_BYTES,)))
-        _write_varint(out, len(data))
-        out.append(data)
+        _enc_bytes(bytes(value), out)
     elif isinstance(value, str):
-        data = value.encode("utf-8")
-        out.append(bytes((_TAG_STR,)))
-        _write_varint(out, len(data))
-        out.append(data)
+        _enc_str(value, out)
     elif isinstance(value, list):
-        out.append(bytes((_TAG_LIST,)))
-        _write_varint(out, len(value))
-        for item in value:
-            _encode_into(item, out)
+        _enc_list(value, out)
     elif isinstance(value, tuple):
-        out.append(bytes((_TAG_TUPLE,)))
-        _write_varint(out, len(value))
-        for item in value:
-            _encode_into(item, out)
+        _enc_tuple(value, out)
     elif isinstance(value, dict):
-        out.append(bytes((_TAG_DICT,)))
-        _write_varint(out, len(value))
-        try:
-            keys = sorted(value)
-        except TypeError as exc:
-            raise CodecError("dict keys must be sortable for deterministic encoding") from exc
-        for key in keys:
-            _encode_into(key, out)
-            _encode_into(value[key], out)
+        _enc_dict(value, out)
     elif type(value) in _registry_by_type:
-        cls = type(value)
-        out.append(bytes((_TAG_STRUCT,)))
-        _write_varint(out, _registry_by_type[cls])
-        names = _field_names[cls]
-        _write_varint(out, len(names))
-        for name in names:
-            _encode_into(getattr(value, name), out)
+        # Registered after module import but dispatch entry missing would
+        # be a bug in register(); kept for defensive parity.
+        _ENC_BY_TYPE[type(value)](value, out)
     else:
         raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _encode_into(value: Any, out: List[bytes]) -> None:
+    handler = _ENC_BY_TYPE.get(type(value))
+    if handler is not None:
+        handler(value, out)
+    else:
+        _encode_general(value, out)
 
 
 def encode(value: Any) -> bytes:
@@ -258,6 +429,152 @@ def decode(data: bytes) -> Any:
     return value
 
 
+def _varint_len(value: int) -> int:
+    """Encoded length of a non-negative varint, in bytes."""
+    return (value.bit_length() + 6) // 7 if value else 1
+
+
+def _size_int(value: int) -> int:
+    v = value * 2 if value >= 0 else -value * 2 - 1
+    return 1 + ((v.bit_length() + 6) // 7 if v else 1)
+
+
+def _size_bytes(value: bytes) -> int:
+    length = len(value)
+    return 1 + _varint_len(length) + length
+
+
+def _size_str(value: str) -> int:
+    # ASCII needs no re-encode to know its UTF-8 length.
+    length = len(value) if value.isascii() else len(value.encode("utf-8"))
+    return 1 + _varint_len(length) + length
+
+
+def _size_sequence(value: Any) -> int:
+    size = 1 + _varint_len(len(value))
+    for item in value:
+        size += _size_of(item)
+    return size
+
+
+def _size_dict(value: dict) -> int:
+    try:
+        sorted(value)  # same sortability contract as encoding
+    except TypeError as exc:
+        raise CodecError("dict keys must be sortable for deterministic encoding") from exc
+    size = 1 + _varint_len(len(value))
+    for key, item in value.items():
+        size += _size_of(key) + _size_of(item)
+    return size
+
+
+#: Exact-type dispatch for the size fast path; registered dataclasses add
+#: their own specialized entry (see :func:`_install_struct_sizer`).
+#: Subclasses of the scalar/container types fall back to the isinstance
+#: mirror in :func:`_size_of_general`.
+_SIZE_BY_TYPE: Dict[Type, Callable[[Any], int]] = {
+    type(None): lambda value: 1,
+    bool: lambda value: 1,
+    int: _size_int,
+    float: lambda value: 9,
+    bytes: _size_bytes,
+    str: _size_str,
+    list: _size_sequence,
+    tuple: _size_sequence,
+    dict: _size_dict,
+}
+
+
+def _install_struct_sizer(cls: Type, type_id: int) -> None:
+    """Specialize a size function for one registered dataclass."""
+    names = _field_names[cls]
+    prefix = 1 + _varint_len(type_id) + _varint_len(len(names))
+    cacheable = _cacheable[cls]
+
+    get_fields = _fields_getter(names)
+
+    def size_struct(value: Any) -> int:
+        global _size_cache_hits, _size_cache_misses
+        if cacheable:
+            cached = value.__dict__.get(SIZE_CACHE_ATTR)
+            if cached is not None:
+                _size_cache_hits += 1
+                return cached
+            _size_cache_misses += 1
+        size = prefix
+        dispatch = _SIZE_BY_TYPE
+        for field in get_fields(value):
+            try:
+                handler = dispatch[type(field)]
+            except KeyError:
+                size += _size_of_general(field)
+            else:
+                size += handler(field)
+        if cacheable:
+            object.__setattr__(value, SIZE_CACHE_ATTR, size)
+        return size
+
+    _SIZE_BY_TYPE[cls] = size_struct
+
+
+def _size_of_general(value: Any) -> int:
+    """isinstance-based fallback for subclasses of encodable types."""
+    if value is None or value is False or value is True:
+        return 1
+    if isinstance(value, int):
+        return _size_int(value)
+    if isinstance(value, float):
+        return 9
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        length = value.nbytes if isinstance(value, memoryview) else len(value)
+        return 1 + _varint_len(length) + length
+    if isinstance(value, str):
+        return _size_str(value)
+    if isinstance(value, (list, tuple)):
+        return _size_sequence(value)
+    if isinstance(value, dict):
+        return _size_dict(value)
+    raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _size_of(value: Any) -> int:
+    """Wire size of ``value`` without materializing the encoding.
+
+    Mirrors :func:`_encode_into` branch for branch; any value one accepts
+    or rejects, the other must too, and the sizes must agree byte for
+    byte (the registry-enumerated equivalence tests pin this).
+    """
+    handler = _SIZE_BY_TYPE.get(type(value))
+    if handler is not None:
+        return handler(value)
+    return _size_of_general(value)
+
+
 def encoded_size(value: Any) -> int:
-    """Wire size of ``value`` in bytes (one full encode; no caching here)."""
+    """Wire size of ``value`` in bytes.
+
+    Uses the size-only fast path (plus the per-instance memo for frozen
+    registered dataclasses) unless disabled via
+    :func:`set_size_fast_path`, in which case it performs one full encode.
+    """
+    if _fast_path_enabled:
+        return _size_of(value)
     return len(encode(value))
+
+
+def encode_cached(value: Any) -> bytes:
+    """Like :func:`encode`, memoizing the bytes on frozen struct instances.
+
+    Broadcasting the same message object to N peers encodes once; the
+    returned bytes are exactly ``encode(value)``.  Values that are not
+    frozen registered dataclasses are encoded normally, uncached.
+    """
+    if _fast_path_enabled and _cacheable.get(type(value), False):
+        cached = value.__dict__.get(BYTES_CACHE_ATTR)
+        if cached is not None:
+            return cached
+        data = encode(value)
+        object.__setattr__(value, BYTES_CACHE_ATTR, data)
+        object.__setattr__(value, SIZE_CACHE_ATTR, len(data))
+        return data
+    return encode(value)

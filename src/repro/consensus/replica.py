@@ -16,7 +16,7 @@ from ..crypto.signatures import Signer
 from ..errors import VerificationError
 from ..mempool.mempool import Mempool
 from ..types.block import Block, BlockHeader
-from ..types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote
+from ..types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote, is_genesis_qc
 from ..types.messages import proposal_signing_bytes, PROPOSAL_DOMAIN
 from .blockstore import BlockStore
 from .context import Context
@@ -57,6 +57,12 @@ class BaseReplica:
         self._idle_timer_armed = False
         self._idle_timer_handle: Optional[object] = None
         self._idle_payload: Any = None
+        # Message dispatch: HANDLERS resolved to bound methods once, so
+        # the per-message hot path is a single dict lookup.
+        self._bound_handlers: Dict[Type, Callable[[int, Any], None]] = {
+            cls: getattr(self, name) for cls, name in self.HANDLERS.items()
+        }
+        self._timer_methods: Dict[str, Callable[[Any], None]] = {}
         # Vote accounting: (phase, epoch, block_hash) → {voter → Vote}.
         self._votes: Dict[Tuple[int, int, Digest], Dict[int, Vote]] = {}
         self._qcs: Dict[Tuple[int, int, Digest], QuorumCertificate] = {}
@@ -78,20 +84,23 @@ class BaseReplica:
         """Timer dispatch: calls ``_timer_<tag>`` if defined."""
         if self.crashed:
             return
-        method = getattr(self, f"_timer_{tag}", None)
+        method = self._timer_methods.get(tag)
         if method is None:
-            raise VerificationError(f"{self.protocol_name}: unknown timer tag {tag!r}")
+            method = getattr(self, f"_timer_{tag}", None)
+            if method is None:
+                raise VerificationError(f"{self.protocol_name}: unknown timer tag {tag!r}")
+            self._timer_methods[tag] = method
         method(payload)
 
     def handle(self, src: int, msg: object) -> None:
         """Entry point for every incoming message."""
         if self.crashed:
             return
-        name = self.HANDLERS.get(type(msg))
-        if name is None:
+        handler = self._bound_handlers.get(type(msg))
+        if handler is None:
             return  # unknown/other-protocol message: ignore
         try:
-            getattr(self, name)(src, msg)
+            handler(src, msg)
         except VerificationError:
             # Evidence of a faulty peer — drop the message, keep running.
             if self.ctx is not None:
@@ -187,8 +196,6 @@ class BaseReplica:
 
     def verify_qc(self, qc: QuorumCertificate) -> bool:
         """Verify a received certificate (genesis QC is valid by fiat)."""
-        from ..types.certificates import is_genesis_qc
-
         if is_genesis_qc(qc):
             return qc.block_hash == self.store.genesis.block_hash
         return qc.protocol == self.protocol_name and qc.verify(self.signer, self.validators.quorum)

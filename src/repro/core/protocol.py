@@ -122,6 +122,9 @@ class AlterBFTReplica(BaseReplica):
         # Per-epoch leader-signed proposals, for conflict detection:
         # epoch → height → full proposal message.
         self._epoch_headers: Dict[int, Dict[int, ProposalHeaderMsg]] = {}
+        # epoch → highest recorded proposal height; lets the voting
+        # catch-up scan bail out in O(1) in the common gap-free case.
+        self._epoch_max_height: Dict[int, int] = {}
         # epoch → the anchor proposal (justify.epoch < epoch).
         self._epoch_anchor: Dict[int, ProposalHeaderMsg] = {}
         self._equivocated: Set[int] = set()
@@ -221,7 +224,32 @@ class AlterBFTReplica(BaseReplica):
     # ------------------------------------------------------------------
 
     def _verify_header_msg(self, msg: ProposalHeaderMsg) -> None:
-        """Structural and cryptographic checks; raises VerificationError."""
+        """Structural and cryptographic checks; raises VerificationError.
+
+        A passing verification is memoized on the message object, keyed by
+        the identity of the verification context (scheme, registry,
+        validator set — one of each is shared by every replica of a
+        cluster), so a header relayed to many replicas is checked once.
+        Only success is cached; a failing message is re-checked on every
+        receipt, and a message with different context is never served
+        from the memo.
+        """
+        memo = msg.__dict__.get("_header_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is self.signer.scheme
+            and memo[1] is self.signer.registry
+            and memo[2] is self.validators
+        ):
+            return
+        self._verify_header_msg_uncached(msg)
+        object.__setattr__(
+            msg,
+            "_header_verify_memo",
+            (self.signer.scheme, self.signer.registry, self.validators),
+        )
+
+    def _verify_header_msg_uncached(self, msg: ProposalHeaderMsg) -> None:
         header = msg.header
         if header.epoch < 1 or not self.validators.is_valid_replica(header.proposer):
             raise VerificationError("malformed header epoch/proposer")
@@ -270,6 +298,8 @@ class AlterBFTReplica(BaseReplica):
         heights = self._epoch_headers.setdefault(header.epoch, {})
         if header.height not in heights:
             heights[header.height] = msg
+            if header.height > self._epoch_max_height.get(header.epoch, -1):
+                self._epoch_max_height[header.epoch] = header.height
             if msg.justify.epoch < header.epoch:
                 self._epoch_anchor.setdefault(header.epoch, msg)
         if first_time and self.config.relay_headers and header.block_hash not in self._relayed:
@@ -463,6 +493,8 @@ class AlterBFTReplica(BaseReplica):
         msg = heights.get(last_height + 1)
         if msg is not None and msg.header.parent == last_hash:
             return msg
+        if self._epoch_max_height.get(epoch, -1) <= last_height + 1:
+            return None  # nothing recorded past the gap; skip the scan
         # Catch-up: the leader moved on without our vote; we may vote for
         # any later proposal whose chain passes through our last vote.
         for height in sorted(h for h in heights if h > last_height + 1):

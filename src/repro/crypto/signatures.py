@@ -25,15 +25,25 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
+
+from functools import lru_cache
 
 from ..errors import CryptoError
-from .hashing import Digest, sha256
+from .hashing import Digest, domain_hash, sha256
 
 #: Wire size of a signature, bytes.  Both schemes produce fixed-size
 #: signatures so message-size accounting is scheme-independent.
 SIGNATURE_SIZE = 64
+
+#: Default bound on the hashsig verification cache (entries).  Quorum
+#: checks re-verify the same (signer, digest, signature) triple across
+#: every replica that relays a certificate; the cache makes the repeat
+#: verifications O(1) dict lookups.  Module-level so tests can force 0
+#: (cache off) for A/B determinism runs.
+VERIFY_CACHE_DEFAULT = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -82,12 +92,16 @@ class KeyRegistry:
     def __init__(self) -> None:
         self._public: Dict[int, bytes] = {}
         self._secret: Dict[int, bytes] = {}
+        self._id_by_public: Dict[bytes, int] = {}
+        self._sorted_ids: List[int] = []
 
     def register(self, replica_id: int, pair: KeyPair) -> None:
         if replica_id in self._public:
             raise CryptoError(f"replica {replica_id} already registered")
         self._public[replica_id] = pair.public
         self._secret[replica_id] = pair.secret
+        self._id_by_public[pair.public] = replica_id
+        self._sorted_ids = sorted(self._public)
 
     def public_key(self, replica_id: int) -> bytes:
         try:
@@ -102,8 +116,12 @@ class KeyRegistry:
         except KeyError:
             raise CryptoError(f"no secret key for replica {replica_id}") from None
 
-    def known_ids(self):
-        return sorted(self._public)
+    def id_for_public(self, public: bytes) -> Optional[int]:
+        """Reverse lookup: replica id holding ``public``, or None."""
+        return self._id_by_public.get(public)
+
+    def known_ids(self) -> List[int]:
+        return list(self._sorted_ids)
 
     def __contains__(self, replica_id: int) -> bool:
         return replica_id in self._public
@@ -113,12 +131,28 @@ class KeyRegistry:
 
 
 class HashSignatureScheme(SignatureScheme):
-    """HMAC-based simulated signatures (see module docstring)."""
+    """HMAC-based simulated signatures (see module docstring).
+
+    Verification results are memoized in a bounded LRU cache keyed by the
+    full ``(public, message, signature)`` triple.  Keying on all three is
+    what makes the cache sound against a Byzantine signer: a vote by the
+    same signer for a *different* digest, or a forged signature over a
+    cached digest, forms a different key and is always recomputed — a
+    cache hit can only ever repeat a verification of the identical
+    triple.  ``cache_size=0`` disables caching entirely.
+    """
 
     name = "hashsig"
 
-    def __init__(self, registry: Optional[KeyRegistry] = None) -> None:
+    def __init__(
+        self, registry: Optional[KeyRegistry] = None, cache_size: Optional[int] = None
+    ) -> None:
         self.registry = registry if registry is not None else KeyRegistry()
+        self.cache_size = VERIFY_CACHE_DEFAULT if cache_size is None else cache_size
+        self._verify_cache: "OrderedDict[Tuple[bytes, bytes, bytes], bool]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
 
     def keygen(self, seed: bytes) -> KeyPair:
         secret = sha256(b"hashsig-secret" + seed)
@@ -133,6 +167,24 @@ class HashSignatureScheme(SignatureScheme):
     def verify(self, public: bytes, message: bytes, signature: bytes) -> bool:
         if len(signature) != SIGNATURE_SIZE:
             return False
+        if self.cache_size <= 0:
+            return self._verify_uncached(public, message, signature)
+        key = (public, message, signature)
+        cache = self._verify_cache
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        result = self._verify_uncached(public, message, signature)
+        cache[key] = result
+        if len(cache) > self.cache_size:
+            cache.popitem(last=False)
+            self.cache_evictions += 1
+        return result
+
+    def _verify_uncached(self, public: bytes, message: bytes, signature: bytes) -> bool:
         secret = self._secret_for_public(public)
         if secret is None:
             return False
@@ -140,10 +192,10 @@ class HashSignatureScheme(SignatureScheme):
         return hmac.compare_digest(expected, signature)
 
     def _secret_for_public(self, public: bytes) -> Optional[bytes]:
-        for replica_id in self.registry.known_ids():
-            if self.registry.public_key(replica_id) == public:
-                return self.registry._secret_key(replica_id)
-        return None
+        replica_id = self.registry.id_for_public(public)
+        if replica_id is None:
+            return None
+        return self.registry._secret_key(replica_id)
 
 
 class Signer:
@@ -183,12 +235,13 @@ class Signer:
 
     def digest_and_sign(self, domain: str, message: bytes) -> bytes:
         """Sign the domain-separated hash of ``message``."""
-        from .hashing import domain_hash
-
-        return self.sign(domain_hash(domain, message))
+        return self.sign(_domain_hash_cached(domain, message))
 
     def verify_digest(self, signer_id: int, domain: str, message: bytes, signature: bytes) -> bool:
         """Verify a signature produced by :meth:`digest_and_sign`."""
-        from .hashing import domain_hash
+        return self.verify(signer_id, _domain_hash_cached(domain, message), signature)
 
-        return self.verify(signer_id, domain_hash(domain, message), signature)
+
+#: Quorum checks hash the same (domain, signing-bytes) pair once per
+#: signature; memoizing the domain hash removes the repeat SHA-256 work.
+_domain_hash_cached = lru_cache(maxsize=1 << 15)(domain_hash)

@@ -1,9 +1,11 @@
 """The simulated network.
 
-Connects node message handlers through the scheduler: ``send`` encodes the
-message (its real wire size feeds the delay model), samples a delay from
-the per-link RNG stream, and schedules delivery.  Supports partitions and
-per-message filters for fault experiments.
+Connects node message handlers through the scheduler: ``send`` measures
+the message's real wire size (via the codec's size-only fast path, which
+memoizes per message object — its result is byte-exact with
+``len(encode(msg))``), samples a delay from the per-link RNG stream, and
+schedules delivery.  Supports partitions and per-message filters for
+fault experiments.
 
 Delivery hands the *original* message object to the receiver — the codec
 roundtrip is exercised by the real transport and by dedicated tests; the
@@ -15,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from ..codec import encode
+from ..codec import encoded_size
 from ..errors import SimulationError
 from ..sim.rng import RngFactory
 from ..sim.scheduler import Scheduler
@@ -62,6 +64,7 @@ class SimNetwork:
         self.priority_threshold = priority_threshold
         self._rng = rng_factory.stream("network")
         self._handlers: Dict[int, MessageHandler] = {}
+        self._nodes_sorted: List[int] = []
         self._partition: Optional[Tuple[FrozenSet[int], ...]] = None
         self._filters: List[MessageFilter] = []
         self._delay_policy: Optional[DelayPolicy] = None
@@ -75,9 +78,10 @@ class SimNetwork:
         if node_id in self._handlers:
             raise SimulationError(f"node {node_id} already attached")
         self._handlers[node_id] = handler
+        self._nodes_sorted = sorted(self._handlers)
 
     def nodes(self) -> List[int]:
-        return sorted(self._handlers)
+        return list(self._nodes_sorted)
 
     # -- fault controls ----------------------------------------------------
 
@@ -106,13 +110,18 @@ class SimNetwork:
     # -- sending -----------------------------------------------------------
 
     def send(self, src: int, dst: int, msg: object) -> None:
-        """Send one message; wire size is the real encoded size."""
-        self._send_sized(src, dst, msg, len(encode(msg)))
+        """Send one message; wire size is the real encoded size.
+
+        Routed through :func:`~repro.codec.encoded_size`, so the size is
+        computed without materializing bytes and is memoized on the
+        message object — a header relayed many times is sized once.
+        """
+        self._send_sized(src, dst, msg, encoded_size(msg))
 
     def broadcast(self, src: int, msg: object, include_self: bool = True) -> None:
-        """Send ``msg`` to every attached node (encoding once)."""
-        size = len(encode(msg))
-        for dst in self.nodes():
+        """Send ``msg`` to every attached node (sizing once per object)."""
+        size = encoded_size(msg)
+        for dst in self._nodes_sorted:
             if dst == src and not include_self:
                 continue
             self._send_sized(src, dst, msg, size)
@@ -121,30 +130,32 @@ class SimNetwork:
         if src in self._down:
             return
         self.trace.count_message(src, type(msg).__name__, size)
+        scheduler = self.scheduler
         if src == dst:
-            self.scheduler.after(LOOPBACK_DELAY, self._deliver, src, dst, msg)
+            scheduler.post_after(LOOPBACK_DELAY, self._deliver, src, dst, msg)
             return
-        if self._crosses_partition(src, dst):
-            self.trace.emit(self.scheduler.now, "msg_partitioned", src, dst=dst)
+        if self._partition is not None and self._crosses_partition(src, dst):
+            self.trace.emit(scheduler.now, "msg_partitioned", src, dst=dst)
             return
-        for fn in self._filters:
-            if not fn(src, dst, msg, size):
-                self.trace.emit(self.scheduler.now, "msg_filtered", src, dst=dst)
-                return
+        if self._filters:
+            for fn in self._filters:
+                if not fn(src, dst, msg, size):
+                    self.trace.emit(scheduler.now, "msg_filtered", src, dst=dst)
+                    return
         delay = self.delay_model.sample(self._rng, src, dst, size)
         if self._delay_policy is not None:
             delay = self._delay_policy(src, dst, msg, size, delay)
         if delay is None:
-            self.trace.emit(self.scheduler.now, "msg_dropped", src, dst=dst)
+            self.trace.emit(scheduler.now, "msg_dropped", src, dst=dst)
             return
-        departure = self.scheduler.now
+        departure = scheduler.now
         if self.egress_bandwidth and size > self.priority_threshold:
             # NIC egress serialization: copies of a broadcast queue behind
             # one another at the sender.
-            start = max(self.scheduler.now, self._egress_free.get(src, 0.0))
+            start = max(departure, self._egress_free.get(src, 0.0))
             departure = start + size / self.egress_bandwidth
             self._egress_free[src] = departure
-        self.scheduler.at(departure + delay, self._deliver, src, dst, msg)
+        scheduler.post_at(departure + delay, self._deliver, src, dst, msg)
 
     def _crosses_partition(self, src: int, dst: int) -> bool:
         if self._partition is None:

@@ -19,7 +19,7 @@ import asyncio
 import struct
 from typing import Dict, List, Optional, Tuple
 
-from ..codec import decode, encode
+from ..codec import decode, encode_cached
 from ..consensus.replica import BaseReplica
 from ..errors import TransportError
 
@@ -28,7 +28,9 @@ MAX_FRAME = 64 * 1024 * 1024
 
 
 def encode_frame(msg: object) -> bytes:
-    payload = encode(msg)
+    # encode_cached memoizes the codec bytes on the message object, so a
+    # broadcast encodes once rather than once per peer connection.
+    payload = encode_cached(msg)
     if len(payload) > MAX_FRAME:
         raise TransportError(f"frame of {len(payload)} bytes exceeds limit")
     return struct.pack(">I", len(payload)) + payload

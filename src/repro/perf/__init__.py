@@ -1,0 +1,29 @@
+"""Performance benchmark and regression subsystem.
+
+``python -m repro.perf`` runs a suite of microbenchmarks (codec, crypto,
+scheduler, network) plus end-to-end simulated-cluster benchmarks on
+seeded E3 configurations, and writes ``BENCH_perf.json`` — one entry per
+benchmark with p50/mean/stdev over repetitions.  ``--compare`` checks a
+fresh run against a committed baseline and exits nonzero on a >25%
+regression (direction-aware: per-op times must not grow, throughput
+rates must not shrink).
+
+The end-to-end benchmarks double as determinism checks: every repetition
+of a seeded configuration must produce a byte-identical trace
+fingerprint, so a performance optimization that perturbs simulation
+behavior fails the benchmark itself, not just the regression gate.
+"""
+
+from .timing import BenchResult, measure, measure_rate
+from .compare import CompareOutcome, compare_results, load_baseline
+from .suite import run_suite
+
+__all__ = [
+    "BenchResult",
+    "CompareOutcome",
+    "compare_results",
+    "load_baseline",
+    "measure",
+    "measure_rate",
+    "run_suite",
+]

@@ -1,0 +1,116 @@
+"""Baseline comparison: the perf regression gate.
+
+Compares a fresh benchmark run against a committed baseline JSON.  A
+benchmark regresses when its p50 moves against its declared direction by
+more than the threshold (default 25%): per-op times ("lower") must not
+grow, throughput rates ("higher") must not shrink.  Benchmarks present
+on only one side are reported but never fail the gate, so adding or
+retiring a benchmark does not require a lockstep baseline update.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .timing import BenchResult, HIGHER, LOWER
+
+#: Regression threshold: fraction of the baseline p50.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass
+class Delta:
+    """One benchmark's movement against the baseline."""
+
+    name: str
+    direction: str
+    baseline_p50: float
+    current_p50: float
+    change: float  # signed fraction; positive = current larger
+    regressed: bool
+
+    def describe(self) -> str:
+        arrow = "↑" if self.change > 0 else "↓"
+        flag = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"{self.name}: {self.baseline_p50:.6g} -> {self.current_p50:.6g} "
+            f"({arrow}{abs(self.change) * 100:.1f}%, {self.direction} is better) [{flag}]"
+        )
+
+
+@dataclass
+class CompareOutcome:
+    """Result of comparing a run against a baseline."""
+
+    deltas: List[Delta] = field(default_factory=list)
+    missing_in_baseline: List[str] = field(default_factory=list)
+    missing_in_current: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_results(
+    current: List[BenchResult],
+    baseline: List[BenchResult],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareOutcome:
+    """Compare two benchmark runs by name; see module docstring."""
+    base_by_name: Dict[str, BenchResult] = {b.name: b for b in baseline}
+    cur_by_name: Dict[str, BenchResult] = {c.name: c for c in current}
+    outcome = CompareOutcome(
+        missing_in_baseline=sorted(cur_by_name.keys() - base_by_name.keys()),
+        missing_in_current=sorted(base_by_name.keys() - cur_by_name.keys()),
+    )
+    for name in sorted(cur_by_name.keys() & base_by_name.keys()):
+        cur, base = cur_by_name[name], base_by_name[name]
+        if base.p50 <= 0:
+            # Degenerate baseline sample; nothing sensible to compare.
+            continue
+        change = (cur.p50 - base.p50) / base.p50
+        if cur.direction == LOWER:
+            regressed = change > threshold
+        elif cur.direction == HIGHER:
+            regressed = change < -threshold
+        else:
+            raise ValueError(f"{name}: unknown direction {cur.direction!r}")
+        outcome.deltas.append(
+            Delta(
+                name=name,
+                direction=cur.direction,
+                baseline_p50=base.p50,
+                current_p50=cur.p50,
+                change=change,
+                regressed=regressed,
+            )
+        )
+    return outcome
+
+
+def load_baseline(path: str) -> List[BenchResult]:
+    """Load benchmark entries from a ``BENCH_perf.json`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = data["benchmarks"] if isinstance(data, dict) else data
+    return [BenchResult.from_dict(entry) for entry in entries]
+
+
+def results_document(results: List[BenchResult], fast: bool) -> Dict:
+    """The JSON document ``python -m repro.perf`` writes."""
+    import platform
+    import sys
+
+    return {
+        "schema": 1,
+        "fast": fast,
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "benchmarks": [r.to_dict() for r in results],
+    }

@@ -1,0 +1,134 @@
+"""End-to-end benchmarks: seeded E3 clusters, wall-clock metrics.
+
+Each configuration runs the full AlterBFT stack (protocol, crypto,
+codec-sized network, scheduler) exactly as experiment E3 does, and
+reports higher-is-better rates:
+
+* ``events_per_sec`` — simulated events executed per wall-second, the
+  simulator's raw engine speed;
+* ``tx_per_sec`` — committed transactions per wall-second, the
+  end-to-end regeneration speed of the paper's experiments.
+
+Every repetition must produce a byte-identical trace fingerprint —
+determinism is asserted here, so a perf regression gate never passes on
+a run whose optimizations changed simulation behavior.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..bench.common import make_config
+from ..runner.cluster import build_cluster
+from .timing import BenchResult, summarize
+
+
+@dataclass(frozen=True)
+class E2EConfig:
+    """One seeded end-to-end operating point."""
+
+    label: str
+    rate: float
+    f: int
+    duration: float
+    seed: int
+
+
+#: The E3 operating points benchmarked end to end: the paper's main
+#: experiment sweeps offered load at f=1; the f=3 point exercises the
+#: n=7 quorum/certificate paths that dominate at larger clusters.
+FULL_CONFIGS: Tuple[E2EConfig, ...] = (
+    E2EConfig("e3_r2000_f1", rate=2000.0, f=1, duration=4.0, seed=3),
+    E2EConfig("e3_r8000_f1", rate=8000.0, f=1, duration=4.0, seed=3),
+    E2EConfig("e3_r2000_f3", rate=2000.0, f=3, duration=4.0, seed=3),
+)
+
+#: The fast (CI smoke) subset runs the same operating point as the full
+#: suite — identical label, duration, and seed, just fewer repetitions —
+#: so its entries compare one-to-one against a full-run baseline.
+FAST_CONFIGS: Tuple[E2EConfig, ...] = (
+    E2EConfig("e3_r2000_f1", rate=2000.0, f=1, duration=4.0, seed=3),
+)
+
+
+def run_one(config: E2EConfig) -> Tuple[float, int, int, str]:
+    """One seeded run: (wall seconds, events, committed txs, fingerprint)."""
+    cfg = make_config(
+        "alterbft",
+        f=config.f,
+        rate=config.rate,
+        duration=config.duration,
+        seed=config.seed,
+    )
+    t0 = time.perf_counter()
+    cluster = build_cluster(cfg)
+    cluster.start()
+    cluster.run()
+    wall = time.perf_counter() - t0
+    ledger_state = b"".join(
+        h
+        for replica in cluster.replicas
+        if replica.replica_id in cluster.honest_ids
+        for h in replica.ledger.all_hashes()
+    )
+    fingerprint = cluster.trace.fingerprint(extra=ledger_state)
+    committed = cluster.collector.committed_tx_count(cfg.max_sim_time)
+    return wall, cluster.scheduler.events_processed, committed, fingerprint
+
+
+def bench_e2e(config: E2EConfig, reps: int) -> List[BenchResult]:
+    """Run one operating point ``reps`` times; assert determinism."""
+    walls: List[float] = []
+    fingerprints: List[str] = []
+    events = committed = 0
+    for _ in range(reps):
+        wall, events, committed, fingerprint = run_one(config)
+        walls.append(wall)
+        fingerprints.append(fingerprint)
+    if len(set(fingerprints)) != 1:
+        raise AssertionError(
+            f"{config.label}: non-deterministic run — fingerprints {set(fingerprints)}"
+        )
+    meta = {
+        "rate": config.rate,
+        "f": config.f,
+        "duration": config.duration,
+        "seed": config.seed,
+        "events": events,
+        "committed_txs": committed,
+        "fingerprint": fingerprints[0],
+    }
+    return [
+        summarize(
+            f"e2e.{config.label}.events_per_sec",
+            "events/s",
+            "higher",
+            [events / w for w in walls],
+            meta,
+        ),
+        summarize(
+            f"e2e.{config.label}.tx_per_sec",
+            "tx/s",
+            "higher",
+            [committed / w for w in walls],
+            meta,
+        ),
+        summarize(
+            f"e2e.{config.label}.wall",
+            "s/run",
+            "lower",
+            walls,
+            meta,
+        ),
+    ]
+
+
+def run_e2e(fast: bool) -> List[BenchResult]:
+    configs = FAST_CONFIGS if fast else FULL_CONFIGS
+    reps = 2 if fast else 3
+    results: List[BenchResult] = []
+    for config in configs:
+        results += bench_e2e(config, reps)
+    return results

@@ -1,0 +1,205 @@
+"""Microbenchmarks for the simulator's hot paths.
+
+Each benchmark targets one layer the hot-path overhaul touched: codec
+encode/decode and the size-only fast path, signature sign/verify (cache
+miss and cache hit separately), scheduler event push/pop, and simulated
+broadcast.  Fixtures are deterministic, so two runs on the same machine
+measure the same work.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from ..codec import encode, decode, encoded_size
+from ..codec.core import SIZE_CACHE_ATTR
+from ..crypto.keystore import build_cluster_keys
+from ..crypto.signatures import HashSignatureScheme, KeyRegistry
+from ..net.delay import HybridCloudDelayModel
+from ..net.simnet import SimNetwork
+from ..config import NetworkConfig
+from ..sim.rng import RngFactory
+from ..sim.scheduler import Scheduler
+from ..types.block import make_block, BlockPayload, genesis_block
+from ..types.certificates import Vote, genesis_qc
+from ..types.messages import ProposalHeaderMsg, VoteMsg
+from ..types.transaction import Transaction
+from .timing import BenchResult, measure
+
+#: Transactions per benchmark payload (a mid-size block).
+PAYLOAD_TXS = 128
+TX_BYTES = 256
+
+
+def _make_transactions(count: int = PAYLOAD_TXS) -> List[Transaction]:
+    rng = random.Random(42)
+    return [
+        Transaction(
+            client_id=i % 16,
+            seq=i,
+            submitted_at=float(i) * 1e-3,
+            payload=rng.randbytes(TX_BYTES),
+        )
+        for i in range(count)
+    ]
+
+
+def _make_block():
+    signers = build_cluster_keys("hashsig", 4)
+    payload = BlockPayload(transactions=tuple(_make_transactions()))
+    genesis = genesis_block()
+    return make_block(
+        epoch=3,
+        height=1,
+        parent=genesis.block_hash,
+        transactions=payload.transactions,
+        proposer=0,
+    ), signers
+
+
+def _strip_size_memo(values) -> None:
+    for value in values:
+        if SIZE_CACHE_ATTR in value.__dict__:
+            object.__delattr__(value, SIZE_CACHE_ATTR)
+
+
+def _strip_block_memos(block) -> None:
+    """Remove size memos from a block and everything nested inside it."""
+    _strip_size_memo([block, block.header, block.payload, *block.payload.transactions])
+
+
+def bench_codec(reps: int, inner: int) -> List[BenchResult]:
+    block, signers = _make_block()
+    wire = encode(block)
+    vote = Vote.create(signers[1], "alterbft", 3, 7, block.block_hash)
+    vote_msg = VoteMsg(vote=vote)
+
+    results = [
+        measure(
+            "codec.encode_block",
+            lambda: encode(block),
+            reps,
+            inner,
+            meta={"txs": PAYLOAD_TXS, "wire_bytes": len(wire)},
+        ),
+        measure(
+            "codec.decode_block",
+            lambda: decode(wire),
+            reps,
+            inner,
+            meta={"txs": PAYLOAD_TXS, "wire_bytes": len(wire)},
+        ),
+        measure(
+            "codec.size_block_cold",
+            lambda: encoded_size(block),
+            reps,
+            inner=1,
+            setup=lambda: _strip_block_memos(block),
+            meta={"txs": PAYLOAD_TXS, "note": "all nested size memos stripped per repetition"},
+        ),
+        measure(
+            "codec.size_block_hot",
+            lambda: encoded_size(block),
+            reps,
+            inner,
+            meta={"note": "served from the per-instance memo"},
+        ),
+        measure(
+            "codec.size_vote_msg_hot",
+            lambda: encoded_size(vote_msg),
+            reps,
+            inner,
+            meta={"note": "memoized after first call"},
+        ),
+    ]
+    return results
+
+
+def bench_crypto(reps: int, inner: int) -> List[BenchResult]:
+    registry = KeyRegistry()
+    scheme = HashSignatureScheme(registry)
+    pair = scheme.keygen(b"perf-seed")
+    registry.register(0, pair)
+    messages = [b"perf-message-%d" % i for i in range(inner)]
+    signatures = [scheme.sign(pair.secret, m) for m in messages]
+
+    def sign_all() -> None:
+        for m in messages:
+            scheme.sign(pair.secret, m)
+
+    def verify_all_miss() -> None:
+        fresh = HashSignatureScheme(registry)
+        for m, s in zip(messages, signatures):
+            fresh.verify(pair.public, m, s)
+
+    def verify_all_hit() -> None:
+        for m, s in zip(messages, signatures):
+            scheme.verify(pair.public, m, s)
+
+    # Warm the shared scheme's cache so verify_all_hit measures hits only.
+    verify_all_hit()
+    return [
+        measure("crypto.sign", sign_all, reps, 1, scale=inner, unit="s/op",
+                meta={"ops": inner}),
+        measure("crypto.verify_miss", verify_all_miss, reps, 1, scale=inner,
+                unit="s/op",
+                meta={"ops": inner, "note": "fresh cache each repetition"}),
+        measure("crypto.verify_hit", verify_all_hit, reps, 1, scale=inner,
+                unit="s/op", meta={"ops": inner}),
+    ]
+
+
+def bench_scheduler(reps: int, inner: int) -> List[BenchResult]:
+    def push_pop() -> None:
+        scheduler = Scheduler()
+        rng = random.Random(7)
+        noop: Callable[[], None] = lambda: None
+        for _ in range(inner):
+            scheduler.post_at(rng.random(), noop)
+        scheduler.run()
+
+    return [
+        measure("scheduler.push_pop", push_pop, reps, 1, scale=inner,
+                unit="s/event", meta={"events": inner}),
+    ]
+
+
+def bench_simnet(reps: int, inner: int) -> List[BenchResult]:
+    block, signers = _make_block()
+    header_msg = ProposalHeaderMsg(
+        header=block.header,
+        signature=signers[0].digest_and_sign("proposal", block.block_hash),
+        justify=genesis_qc("alterbft", block.header.parent),
+    )
+
+    def broadcast_run() -> None:
+        scheduler = Scheduler()
+        network = SimNetwork(
+            scheduler,
+            HybridCloudDelayModel(NetworkConfig()),
+            RngFactory(11),
+        )
+        for node in range(4):
+            network.attach(node, lambda src, msg: None)
+        for _ in range(inner):
+            network.broadcast(0, header_msg)
+        scheduler.run()
+
+    return [
+        measure("simnet.broadcast", broadcast_run, reps, 1, scale=inner,
+                unit="s/broadcast",
+                meta={"nodes": 4, "broadcasts": inner}),
+    ]
+
+
+def run_micro(fast: bool) -> List[BenchResult]:
+    # Fast mode trims repetitions only; per-repetition batch sizes stay
+    # identical so per-op numbers compare one-to-one across modes.
+    reps = 5 if fast else 9
+    results: List[BenchResult] = []
+    results += bench_codec(reps, inner=200)
+    results += bench_crypto(reps, inner=1000)
+    results += bench_scheduler(reps, inner=10000)
+    results += bench_simnet(reps, inner=1000)
+    return results

@@ -1,0 +1,26 @@
+"""The benchmark suite: micro + end-to-end, one call."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .e2e import run_e2e
+from .micro import run_micro
+from .timing import BenchResult
+
+
+def run_suite(fast: bool = False, micro: bool = True, e2e: bool = True) -> List[BenchResult]:
+    """Run the benchmark suite and return all results.
+
+    Args:
+        fast: smaller repetition counts and shorter simulated horizons —
+            the CI smoke configuration.
+        micro: include the microbenchmarks.
+        e2e: include the end-to-end cluster benchmarks.
+    """
+    results: List[BenchResult] = []
+    if micro:
+        results += run_micro(fast)
+    if e2e:
+        results += run_e2e(fast)
+    return results

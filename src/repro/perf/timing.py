@@ -1,0 +1,144 @@
+"""Benchmark timing harness.
+
+A benchmark is a callable run ``reps`` times; each repetition yields one
+sample (seconds per operation, or a rate).  Results carry the summary
+statistics the regression gate compares plus enough metadata to
+reproduce the run.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Direction values: "lower" — smaller is better (per-op times);
+#: "higher" — larger is better (throughput rates).
+LOWER = "lower"
+HIGHER = "higher"
+
+
+@dataclass
+class BenchResult:
+    """Summary of one benchmark: p50/mean/stdev over repetitions."""
+
+    name: str
+    unit: str
+    direction: str  # "lower" or "higher"
+    reps: int
+    p50: float
+    mean: float
+    stdev: float
+    values: List[float] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "direction": self.direction,
+            "reps": self.reps,
+            "p50": self.p50,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "values": self.values,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchResult":
+        return cls(
+            name=data["name"],
+            unit=data["unit"],
+            direction=data["direction"],
+            reps=int(data["reps"]),
+            p50=float(data["p50"]),
+            mean=float(data["mean"]),
+            stdev=float(data["stdev"]),
+            values=[float(v) for v in data.get("values", [])],
+            meta=dict(data.get("meta", {})),
+        )
+
+
+def summarize(
+    name: str,
+    unit: str,
+    direction: str,
+    values: List[float],
+    meta: Optional[Dict[str, Any]] = None,
+) -> BenchResult:
+    """Build a :class:`BenchResult` from raw per-repetition samples."""
+    if not values:
+        raise ValueError(f"benchmark {name!r} produced no samples")
+    return BenchResult(
+        name=name,
+        unit=unit,
+        direction=direction,
+        reps=len(values),
+        p50=statistics.median(values),
+        mean=statistics.fmean(values),
+        stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+        values=list(values),
+        meta=dict(meta or {}),
+    )
+
+
+def measure(
+    name: str,
+    fn: Callable[[], Any],
+    reps: int,
+    inner: int = 1,
+    setup: Optional[Callable[[], None]] = None,
+    unit: str = "s/op",
+    meta: Optional[Dict[str, Any]] = None,
+    scale: int = 1,
+) -> BenchResult:
+    """Time ``fn`` for ``reps`` repetitions of ``inner`` calls each.
+
+    Each sample is the mean seconds per operation within one repetition,
+    where one repetition performs ``inner * scale`` operations — use
+    ``scale`` when ``fn`` itself loops over ``scale`` operations, so the
+    reported per-op time is invariant to the batch size (and therefore
+    comparable between --fast and full runs).  ``setup`` runs before
+    each repetition, outside the timed region — use it to reset caches
+    so every repetition measures the same path.
+    """
+    values: List[float] = []
+    ops = inner * scale
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(reps):
+            if setup is not None:
+                setup()
+            # Collect *before* the timed region and keep the collector off
+            # inside it, so a cycle collection landing mid-repetition does
+            # not masquerade as a benchmark regression.
+            gc.collect()
+            gc.disable()
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            elapsed = time.perf_counter() - t0
+            if gc_was_enabled:
+                gc.enable()
+            values.append(elapsed / ops)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    full_meta = {"inner": inner, "scale": scale}
+    full_meta.update(meta or {})
+    return summarize(name, unit, LOWER, values, full_meta)
+
+
+def measure_rate(
+    name: str,
+    fn: Callable[[], float],
+    reps: int,
+    unit: str,
+    meta: Optional[Dict[str, Any]] = None,
+) -> BenchResult:
+    """Collect a higher-is-better rate; ``fn`` returns one sample per call."""
+    values = [float(fn()) for _ in range(reps)]
+    return summarize(name, unit, HIGHER, values, meta)

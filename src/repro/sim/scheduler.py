@@ -44,6 +44,12 @@ class EventHandle:
 #: (possibly distant) deadlines drain off the heap.
 COMPACT_MIN_QUEUE = 256
 
+#: Shared sentinel handle for fire-and-forget events (see
+#: :meth:`Scheduler.post_at`).  Never cancelled, so one instance serves
+#: every such event — message deliveries, which dominate event volume,
+#: skip the per-event :class:`EventHandle` allocation entirely.
+_FIRE_AND_FORGET = EventHandle(0.0, -1, None)
+
 
 class Scheduler:
     """The simulation event loop."""
@@ -113,6 +119,26 @@ class Scheduler:
             raise SimulationError(f"negative delay {delay}")
         return self.at(self._now + delay, fn, *args)
 
+    def post_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule a fire-and-forget event at absolute time ``time``.
+
+        Identical ordering semantics to :meth:`at` (same timestamp/sequence
+        tie-breaking; the sequence counter is shared), but returns no
+        handle and allocates none — the event cannot be cancelled.  This
+        is the hot path for message deliveries.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, now is {self._now:.6f}"
+            )
+        heapq.heappush(self._queue, (time, next(self._seq), _FIRE_AND_FORGET, fn, args))
+
+    def post_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`after` (see :meth:`post_at`)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.post_at(self._now + delay, fn, *args)
+
     def step(self) -> bool:
         """Execute the next non-cancelled event; False when queue is empty."""
         while self._queue:
@@ -140,20 +166,49 @@ class Scheduler:
             max_events: stop after executing this many events.
             stop_when: evaluated after each event; True stops the run.
         """
+        # Fused peek/pop loop: equivalent to _peek_time() + step() per
+        # event, but touches the heap root once per event instead of twice.
+        heappop = heapq.heappop
+        if max_events is None and stop_when is None:
+            # Tight variant for the dominant call shape (bounded by time
+            # only): no per-event bound bookkeeping.
+            while self._queue:
+                entry = self._queue[0]
+                if entry[2].cancelled:
+                    heappop(self._queue)
+                    self._cancelled_pending = max(0, self._cancelled_pending - 1)
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    self._now = max(self._now, until)
+                    return
+                heappop(self._queue)
+                self._now = time
+                self._events_processed += 1
+                entry[3](*entry[4])
+            if until is not None:
+                self._now = max(self._now, until)
+            return
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
                 return
-            next_time = self._peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
+            entry = self._queue[0]
+            if entry[2].cancelled:
+                heappop(self._queue)
+                self._cancelled_pending = max(0, self._cancelled_pending - 1)
+                continue
+            time = entry[0]
+            if until is not None and time > until:
                 self._now = max(self._now, until)
                 return
-            if self.step():
-                executed += 1
-                if stop_when is not None and stop_when():
-                    return
+            heappop(self._queue)
+            self._now = time
+            self._events_processed += 1
+            entry[3](*entry[4])
+            executed += 1
+            if stop_when is not None and stop_when():
+                return
         if until is not None:
             self._now = max(self._now, until)
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Tuple
 
-from ..codec import encode, register
+from ..codec import encode, encoded_size, register
 from ..crypto.hashing import Digest, ZERO_DIGEST, domain_hash, short_hex
 from ..crypto.merkle import MerkleTree
 from .transaction import Transaction
@@ -55,6 +55,11 @@ class BlockHeader:
         """Digest identifying the block (votes sign this)."""
         return domain_hash("block-header", encode(self))
 
+    @cached_property
+    def encoded_size(self) -> int:
+        """Serialized size in bytes."""
+        return encoded_size(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Header(e={self.epoch}, h={self.height}, "
@@ -76,8 +81,8 @@ class BlockPayload:
 
     @cached_property
     def encoded_size(self) -> int:
-        """Serialized size in bytes."""
-        return len(encode(self))
+        """Serialized size in bytes (size-only path; no bytes built)."""
+        return encoded_size(self)
 
     def __len__(self) -> int:
         return len(self.transactions)
@@ -110,6 +115,11 @@ class Block:
     @property
     def parent(self) -> Digest:
         return self.header.parent
+
+    @cached_property
+    def encoded_size(self) -> int:
+        """Serialized size in bytes, computed once per block object."""
+        return encoded_size(self)
 
     def validate_payload(self) -> bool:
         """Check the payload matches the header's commitment."""

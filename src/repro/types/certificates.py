@@ -9,6 +9,7 @@ same structures serve all four protocols; only the quorum size differs
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 from ..codec import encode, register
@@ -23,17 +24,21 @@ VOTE_DOMAIN = "vote"
 BLAME_DOMAIN = "blame"
 
 
+@lru_cache(maxsize=8192)
 def vote_signing_bytes(protocol: str, phase: int, epoch: int, height: int, block_hash: Digest) -> bytes:
     """Canonical bytes a vote signature covers.
 
     Including the protocol name prevents cross-protocol replay when two
-    protocols share a key registry inside one test process.
+    protocols share a key registry inside one test process.  Memoized: a
+    quorum check re-derives the same bytes once per (voter-independent)
+    vote identity instead of once per signature.
     """
     return encode((protocol, phase, epoch, height, block_hash))
 
 
+@lru_cache(maxsize=1024)
 def blame_signing_bytes(protocol: str, epoch: int) -> bytes:
-    """Canonical bytes a blame signature covers."""
+    """Canonical bytes a blame signature covers (memoized, see above)."""
     return encode((protocol, epoch))
 
 
@@ -81,9 +86,25 @@ class Vote:
         )
 
     def verify(self, signer: Signer) -> bool:
-        """Check the signature (``signer`` supplies the key registry)."""
+        """Check the signature (``signer`` supplies the key registry).
+
+        The verdict is memoized on the vote object per (scheme, registry):
+        a broadcast vote reaches every replica of a simulated cluster as
+        the same object, and all replicas share one registry, so the
+        repeat verifications are object-identical.  A different registry
+        or scheme (e.g. a second cluster in one test process) recomputes.
+        """
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+        ):
+            return memo[2]
         message = vote_signing_bytes(self.protocol, self.phase, self.epoch, self.height, self.block_hash)
-        return signer.verify_digest(self.voter, VOTE_DOMAIN, message, self.signature)
+        ok = signer.verify_digest(self.voter, VOTE_DOMAIN, message, self.signature)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, ok))
+        return ok
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -134,7 +155,24 @@ class QuorumCertificate:
         )
 
     def verify(self, signer: Signer, quorum: int) -> bool:
-        """Check quorum size, voter distinctness, and every signature."""
+        """Check quorum size, voter distinctness, and every signature.
+
+        Memoized per (scheme, registry, quorum) on the certificate object
+        — see :meth:`Vote.verify` for why this is sound in-process.
+        """
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+            and memo[2] == quorum
+        ):
+            return memo[3]
+        ok = self._verify_uncached(signer, quorum)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, quorum, ok))
+        return ok
+
+    def _verify_uncached(self, signer: Signer, quorum: int) -> bool:
         voters = [voter for voter, _ in self.votes]
         if len(set(voters)) != len(voters) or len(voters) < quorum:
             return False
@@ -208,6 +246,19 @@ class BlameCertificate:
         return BlameCertificate(protocol=first.protocol, epoch=first.epoch, blames=pairs)
 
     def verify(self, signer: Signer, quorum: int) -> bool:
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+            and memo[2] == quorum
+        ):
+            return memo[3]
+        ok = self._verify_uncached(signer, quorum)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, quorum, ok))
+        return ok
+
+    def _verify_uncached(self, signer: Signer, quorum: int) -> bool:
         blamers = [blamer for blamer, _ in self.blames]
         if len(set(blamers)) != len(blamers) or len(blamers) < quorum:
             return False

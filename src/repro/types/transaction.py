@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..codec import encode, register
+from ..codec import encode, encoded_size, register
 from ..crypto.hashing import Digest, domain_hash
 
 
@@ -43,7 +43,7 @@ class Transaction:
     @property
     def size(self) -> int:
         """Approximate wire size, bytes."""
-        return len(self.encoded())
+        return encoded_size(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Tx(client={self.client_id}, seq={self.seq}, {len(self.payload)}B)"

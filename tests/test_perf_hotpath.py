@@ -1,0 +1,519 @@
+"""Hot-path optimizations and the perf harness.
+
+Covers the correctness obligations the performance overhaul created:
+
+* the size-only codec fast path agrees with ``len(encode(...))`` for
+  every registered wire type, fast path on and off;
+* ``encode_cached`` is byte-identical to ``encode`` and stable across
+  calls, so a memoized broadcast puts the same bytes on every link;
+* the signature verification cache counts hits/misses, honors its
+  eviction bound, and can never serve a Byzantine double-vote (same
+  signer, different digest) from cache;
+* a seeded run produces the same trace fingerprint with every
+  optimization disabled — the optimizations are observationally inert;
+* the perf harness itself: statistics, direction-aware regression
+  comparison, baseline round-trip, and CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.crypto.signatures as signatures_mod
+from repro.bench.common import make_config
+from repro.codec import (
+    decode,
+    encode,
+    encode_cached,
+    encoded_size,
+    registered_types,
+    reset_size_cache_stats,
+    set_size_fast_path,
+    size_cache_stats,
+    size_fast_path_enabled,
+)
+from repro.codec.core import BYTES_CACHE_ATTR, SIZE_CACHE_ATTR
+from repro.crypto.signatures import HashSignatureScheme, KeyRegistry
+from repro.errors import SimulationError
+from repro.perf.compare import compare_results, load_baseline, results_document
+from repro.perf.timing import BenchResult, measure, measure_rate, summarize
+from repro.runner.cluster import build_cluster
+from repro.sim.scheduler import Scheduler
+from repro.types.block import genesis_block, make_block
+from repro.types.certificates import Vote
+from repro.types.messages import VoteMsg
+from repro.types.transaction import Transaction
+from tests.test_codec import _struct_strategy
+
+
+@pytest.fixture
+def fast_path_restored():
+    """Leave the module-level fast-path toggle as we found it."""
+    prior = size_fast_path_enabled()
+    yield
+    set_size_fast_path(prior)
+
+
+# -- size-only fast path vs. full encode (per registered type) ----------------
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [cls for _, cls in sorted(registered_types().items())],
+    ids=lambda cls: cls.__name__,
+)
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_size_fast_path_matches_encode(cls, data):
+    value = data.draw(_struct_strategy(cls))
+    wire = encode(value)
+    set_size_fast_path(True)
+    try:
+        fast = encoded_size(value)
+        fast_again = encoded_size(value)  # memoized second call
+        set_size_fast_path(False)
+        slow = encoded_size(value)
+    finally:
+        set_size_fast_path(True)
+    assert fast == len(wire)
+    assert fast_again == len(wire)
+    assert slow == len(wire)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(2**70), max_value=2**70),
+            st.floats(allow_nan=False),
+            st.binary(max_size=48),
+            st.text(max_size=24),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.tuples(children, children),
+            st.dictionaries(st.text(max_size=6), children, max_size=3),
+        ),
+        max_leaves=15,
+    )
+)
+def test_size_fast_path_matches_encode_plain_values(value):
+    assert encoded_size(value) == len(encode(value))
+
+
+def test_size_memo_set_and_counted(fast_path_restored):
+    tx = Transaction(client_id=1, seq=2, submitted_at=0.5, payload=b"x" * 100)
+    assert SIZE_CACHE_ATTR not in tx.__dict__
+    reset_size_cache_stats()
+    first = encoded_size(tx)
+    assert tx.__dict__.get(SIZE_CACHE_ATTR) == first
+    second = encoded_size(tx)
+    assert second == first == len(encode(tx))
+    stats = size_cache_stats()
+    assert stats["misses"] >= 1
+    assert stats["hits"] >= 1
+
+
+def test_size_fast_path_toggle(fast_path_restored):
+    set_size_fast_path(False)
+    assert not size_fast_path_enabled()
+    tx = Transaction(client_id=3, seq=4, submitted_at=1.0, payload=b"abc")
+    assert encoded_size(tx) == len(encode(tx))
+    # Disabled path must not install the memo.
+    assert SIZE_CACHE_ATTR not in tx.__dict__
+    set_size_fast_path(True)
+    assert size_fast_path_enabled()
+
+
+# -- encode_cached: memoized broadcast bytes ----------------------------------
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [cls for _, cls in sorted(registered_types().items())],
+    ids=lambda cls: cls.__name__,
+)
+@settings(max_examples=10, deadline=None)
+@given(st.data())
+def test_encode_cached_byte_identical(cls, data):
+    value = data.draw(_struct_strategy(cls))
+    # Per-link encoding of a fresh equal value == the memoized bytes.
+    reference = encode(value)
+    cached = encode_cached(value)
+    assert cached == reference
+    assert decode(cached) == value
+    # Repeat call returns the identical object (memo, not re-encode).
+    assert encode_cached(value) is cached
+
+
+def test_encode_cached_installs_both_memos(signers3):
+    vote = Vote.create(signers3[0], "alterbft", 1, 1, b"\x07" * 32)
+    msg = VoteMsg(vote=vote)
+    wire = encode_cached(msg)
+    assert msg.__dict__.get(BYTES_CACHE_ATTR) == wire
+    assert msg.__dict__.get(SIZE_CACHE_ATTR) == len(wire)
+    assert encoded_size(msg) == len(wire)
+
+
+# -- verification cache -------------------------------------------------------
+
+
+def _scheme_with_keys(n=2, cache_size=None):
+    registry = KeyRegistry()
+    scheme = HashSignatureScheme(registry, cache_size=cache_size)
+    pairs = [scheme.keygen(b"seed-%d" % i) for i in range(n)]
+    for i, pair in enumerate(pairs):
+        registry.register(i, pair)
+    return scheme, pairs
+
+
+class TestVerifyCache:
+    def test_hit_miss_counters(self):
+        scheme, (pair, _) = _scheme_with_keys()
+        msg = b"message"
+        sig = scheme.sign(pair.secret, msg)
+        assert scheme.cache_hits == scheme.cache_misses == 0
+        assert scheme.verify(pair.public, msg, sig)
+        assert (scheme.cache_hits, scheme.cache_misses) == (0, 1)
+        assert scheme.verify(pair.public, msg, sig)
+        assert (scheme.cache_hits, scheme.cache_misses) == (1, 1)
+
+    def test_eviction_bound(self):
+        scheme, (pair, _) = _scheme_with_keys(cache_size=4)
+        msgs = [b"m%d" % i for i in range(10)]
+        for m in msgs:
+            scheme.verify(pair.public, m, scheme.sign(pair.secret, m))
+        assert len(scheme._verify_cache) <= 4
+        assert scheme.cache_evictions == 6
+        # The oldest entries were evicted: verifying them again is a miss.
+        misses_before = scheme.cache_misses
+        scheme.verify(pair.public, msgs[0], scheme.sign(pair.secret, msgs[0]))
+        assert scheme.cache_misses == misses_before + 1
+
+    def test_byzantine_double_vote_never_served_from_cache(self):
+        """Same signer, different digest → different key → fresh verification."""
+        scheme, (pair, _) = _scheme_with_keys()
+        digest_a = b"\xaa" * 32
+        digest_b = b"\xbb" * 32
+        sig_a = scheme.sign(pair.secret, digest_a)
+        assert scheme.verify(pair.public, digest_a, sig_a)
+        # Replaying vote A's signature over digest B must be recomputed
+        # (cache key includes the message) and must fail.
+        misses_before = scheme.cache_misses
+        assert not scheme.verify(pair.public, digest_b, sig_a)
+        assert scheme.cache_misses == misses_before + 1
+        # A legitimate signature over digest B is also a fresh computation.
+        sig_b = scheme.sign(pair.secret, digest_b)
+        misses_before = scheme.cache_misses
+        assert scheme.verify(pair.public, digest_b, sig_b)
+        assert scheme.cache_misses == misses_before + 1
+
+    def test_forged_signature_rejected_cached_and_uncached(self):
+        scheme, (pair, other) = _scheme_with_keys()
+        msg = b"payload"
+        forged = scheme.sign(other.secret, msg)  # wrong key
+        assert not scheme.verify(pair.public, msg, forged)
+        assert not scheme.verify(pair.public, msg, forged)  # cached False stays False
+        assert scheme.cache_hits >= 1
+
+    def test_cache_disabled(self):
+        scheme, (pair, _) = _scheme_with_keys(cache_size=0)
+        msg = b"m"
+        sig = scheme.sign(pair.secret, msg)
+        for _ in range(3):
+            assert scheme.verify(pair.public, msg, sig)
+        assert scheme.cache_hits == scheme.cache_misses == 0
+        assert len(scheme._verify_cache) == 0
+
+    def test_vote_verify_memo_tracks_scheme_identity(self, signers3):
+        vote = Vote.create(signers3[0], "alterbft", 2, 5, b"\x01" * 32)
+        assert vote.verify(signers3[1])
+        memo = vote.__dict__.get("_verify_memo")
+        assert memo is not None and memo[-1] is True
+        # Same scheme instance: memo is reused, result unchanged.
+        assert vote.verify(signers3[2])
+        assert vote.__dict__.get("_verify_memo") is memo
+
+
+# -- determinism: optimizations are observationally inert ---------------------
+
+#: Fingerprint of make_config("alterbft", f=1, rate=500, duration=1.5,
+#: seed=7), recorded with all optimizations active.  Any change to this
+#: value means an "optimization" altered simulation behavior.
+GOLDEN_FINGERPRINT = "7e7170ae58fb379b5a660462abd2ddc779bfdc9f2e9defd4ec5163290ce77d05"
+
+
+def _run_fingerprint() -> str:
+    cfg = make_config("alterbft", f=1, rate=500.0, duration=1.5, seed=7)
+    cluster = build_cluster(cfg)
+    cluster.start()
+    cluster.run()
+    ledger = b"".join(
+        h
+        for replica in cluster.replicas
+        if replica.replica_id in cluster.honest_ids
+        for h in replica.ledger.all_hashes()
+    )
+    return cluster.trace.fingerprint(extra=ledger)
+
+
+def test_golden_fingerprint_with_optimizations_on():
+    assert _run_fingerprint() == GOLDEN_FINGERPRINT
+
+
+def test_golden_fingerprint_with_optimizations_off(monkeypatch, fast_path_restored):
+    """Size fast path off + verification cache off → identical trace."""
+    set_size_fast_path(False)
+    monkeypatch.setattr(signatures_mod, "VERIFY_CACHE_DEFAULT", 0)
+    assert _run_fingerprint() == GOLDEN_FINGERPRINT
+
+
+# -- scheduler: fire-and-forget posting ---------------------------------------
+
+
+class TestSchedulerPost:
+    def test_post_at_orders_by_time_then_fifo(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.post_at(2.0, seen.append, "late")
+        scheduler.post_at(1.0, seen.append, "early-a")
+        scheduler.post_at(1.0, seen.append, "early-b")
+        scheduler.run()
+        assert seen == ["early-a", "early-b", "late"]
+        assert scheduler.now == 2.0
+
+    def test_post_after_relative(self):
+        scheduler = Scheduler()
+        seen = []
+
+        def chain():
+            scheduler.post_after(0.5, lambda: seen.append(scheduler.now))
+
+        scheduler.post_after(1.0, chain)
+        scheduler.run()
+        assert seen == [1.5]
+
+    def test_post_at_past_rejected(self):
+        scheduler = Scheduler()
+        scheduler.post_at(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.post_at(4.0, lambda: None)
+
+    def test_post_after_negative_rejected(self):
+        scheduler = Scheduler()
+        with pytest.raises(SimulationError):
+            scheduler.post_after(-0.1, lambda: None)
+
+    def test_run_until_stops_clock(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.post_at(1.0, seen.append, "a")
+        scheduler.post_at(3.0, seen.append, "b")
+        scheduler.run(until=2.0)
+        assert seen == ["a"]
+        assert scheduler.now == 2.0
+        scheduler.run()
+        assert seen == ["a", "b"]
+
+    def test_interleaves_with_timers(self):
+        scheduler = Scheduler()
+        seen = []
+        handle = scheduler.at(1.0, lambda: seen.append("timer"))
+        assert not handle.cancelled
+        scheduler.post_at(0.5, seen.append, "post")
+        scheduler.run()
+        assert seen == ["post", "timer"]
+
+    def test_run_with_event_budget(self):
+        scheduler = Scheduler()
+        seen = []
+        for i in range(5):
+            scheduler.post_at(float(i), seen.append, i)
+        scheduler.run(max_events=2)
+        assert seen == [0, 1]
+        scheduler.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+
+# -- perf harness -------------------------------------------------------------
+
+
+class TestTiming:
+    def test_summarize_statistics(self):
+        result = summarize("x", "s/op", "lower", [3.0, 1.0, 2.0])
+        assert result.p50 == 2.0
+        assert result.mean == 2.0
+        assert result.reps == 3
+        assert result.stdev == 1.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize("x", "s/op", "lower", [])
+
+    def test_measure_scale_invariance(self):
+        calls = []
+        result = measure("x", lambda: calls.append(1), reps=3, inner=4, scale=5)
+        assert len(calls) == 3 * 4
+        assert result.reps == 3
+        assert result.direction == "lower"
+        assert result.meta["inner"] == 4 and result.meta["scale"] == 5
+        assert all(v >= 0.0 for v in result.values)
+
+    def test_measure_setup_outside_timed_region(self):
+        order = []
+        measure(
+            "x",
+            lambda: order.append("run"),
+            reps=2,
+            inner=1,
+            setup=lambda: order.append("setup"),
+        )
+        assert order == ["setup", "run", "setup", "run"]
+
+    def test_measure_rate_higher_is_better(self):
+        samples = iter([10.0, 20.0, 30.0])
+        result = measure_rate("x", lambda: next(samples), reps=3, unit="tx/s")
+        assert result.direction == "higher"
+        assert result.p50 == 20.0
+
+    def test_roundtrip_dict(self):
+        result = summarize("x", "s/op", "lower", [1.0, 2.0], meta={"k": 1})
+        assert BenchResult.from_dict(result.to_dict()) == result
+
+
+def _result(name, p50, direction="lower"):
+    return BenchResult(
+        name=name, unit="s/op", direction=direction, reps=3,
+        p50=p50, mean=p50, stdev=0.0,
+    )
+
+
+class TestCompare:
+    def test_lower_direction_regression(self):
+        outcome = compare_results([_result("a", 1.3)], [_result("a", 1.0)])
+        assert not outcome.ok
+        assert outcome.regressions[0].name == "a"
+        assert outcome.regressions[0].change == pytest.approx(0.3)
+
+    def test_lower_direction_improvement_ok(self):
+        outcome = compare_results([_result("a", 0.5)], [_result("a", 1.0)])
+        assert outcome.ok
+        assert outcome.deltas[0].change == pytest.approx(-0.5)
+
+    def test_higher_direction_regression(self):
+        current = [_result("tps", 70.0, "higher")]
+        baseline = [_result("tps", 100.0, "higher")]
+        outcome = compare_results(current, baseline)
+        assert not outcome.ok
+
+    def test_higher_direction_growth_ok(self):
+        outcome = compare_results(
+            [_result("tps", 200.0, "higher")], [_result("tps", 100.0, "higher")]
+        )
+        assert outcome.ok
+
+    def test_within_threshold_ok(self):
+        outcome = compare_results([_result("a", 1.2)], [_result("a", 1.0)])
+        assert outcome.ok  # +20% < default 25%
+
+    def test_custom_threshold(self):
+        outcome = compare_results(
+            [_result("a", 1.2)], [_result("a", 1.0)], threshold=0.1
+        )
+        assert not outcome.ok
+
+    def test_missing_entries_never_fail(self):
+        outcome = compare_results([_result("new", 1.0)], [_result("old", 1.0)])
+        assert outcome.ok
+        assert outcome.missing_in_baseline == ["new"]
+        assert outcome.missing_in_current == ["old"]
+
+    def test_degenerate_baseline_skipped(self):
+        outcome = compare_results([_result("a", 1.0)], [_result("a", 0.0)])
+        assert outcome.ok
+        assert outcome.deltas == []
+
+    def test_baseline_roundtrip(self, tmp_path):
+        results = [_result("a", 1.0), _result("tps", 50.0, "higher")]
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(results_document(results, fast=False)))
+        loaded = load_baseline(str(path))
+        assert loaded == results
+
+    def test_results_document_shape(self):
+        doc = results_document([_result("a", 1.0)], fast=True)
+        assert doc["schema"] == 1
+        assert doc["fast"] is True
+        assert len(doc["benchmarks"]) == 1
+
+
+class TestCli:
+    @pytest.fixture
+    def canned_suite(self, monkeypatch):
+        import repro.perf.__main__ as cli
+
+        def install(results):
+            monkeypatch.setattr(cli, "run_suite", lambda **kw: list(results))
+
+        return install
+
+    def _main(self, argv):
+        from repro.perf.__main__ import main
+
+        return main(argv)
+
+    def test_writes_output_and_exits_zero(self, tmp_path, canned_suite):
+        canned_suite([_result("a", 1.0)])
+        out = tmp_path / "bench.json"
+        assert self._main(["--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["benchmarks"][0]["name"] == "a"
+
+    def test_regression_exits_nonzero(self, tmp_path, canned_suite):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(results_document([_result("a", 1.0)], fast=False))
+        )
+        canned_suite([_result("a", 2.0)])
+        out = tmp_path / "bench.json"
+        code = self._main(["--out", str(out), "--compare", str(baseline)])
+        assert code == 1
+
+    def test_warn_only_exits_zero(self, tmp_path, canned_suite):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(results_document([_result("a", 1.0)], fast=False))
+        )
+        canned_suite([_result("a", 2.0)])
+        out = tmp_path / "bench.json"
+        code = self._main(
+            ["--out", str(out), "--compare", str(baseline), "--warn-only"]
+        )
+        assert code == 0
+
+    def test_clean_compare_exits_zero(self, tmp_path, canned_suite):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(results_document([_result("a", 1.0)], fast=False))
+        )
+        canned_suite([_result("a", 1.05)])
+        out = tmp_path / "bench.json"
+        code = self._main(["--out", str(out), "--compare", str(baseline)])
+        assert code == 0
+
+
+def test_micro_suite_runs_quickly():
+    """Smoke: the micro benchmarks execute and produce sane results."""
+    from repro.perf.micro import bench_scheduler
+
+    results = bench_scheduler(reps=2, inner=100)
+    assert len(results) == 1
+    assert results[0].name == "scheduler.push_pop"
+    assert results[0].p50 > 0
