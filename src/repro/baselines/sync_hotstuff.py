@@ -26,6 +26,7 @@ from ..core.protocol import AlterBFTReplica
 from ..types.block import make_block
 from ..crypto.hashing import Digest
 from ..errors import VerificationError
+from ..obs.recorder import MARK_PAYLOAD, MARK_PROPOSE
 from ..types.messages import (
     BlameCertMsg,
     BlameMsg,
@@ -83,6 +84,14 @@ class SyncHotStuffReplica(AlterBFTReplica):
         self._awaiting_qc = block.block_hash
         self._proposed_in_epoch = True
         self.trace("propose", epoch=self.epoch, height=block.height, txs=len(batch))
+        if self.obs is not None:
+            self.obs_mark(
+                MARK_PROPOSE,
+                block.block_hash,
+                epoch=self.epoch,
+                height=block.height,
+                txs=len(batch),
+            )
         self.broadcast(msg)
 
     # -- receiving ------------------------------------------------------------
@@ -97,7 +106,8 @@ class SyncHotStuffReplica(AlterBFTReplica):
         block_hash = msg.block.block_hash
         self._full_proposals[block_hash] = msg
         # Payload first so voting can proceed as soon as the header lands.
-        self.store.add_payload(block_hash, msg.block.payload)
+        if self.store.add_payload(block_hash, msg.block.payload) and self.obs is not None:
+            self.obs_mark(MARK_PAYLOAD, block_hash)
         if msg.block.epoch > self.epoch:
             self._future_headers.append((msg.block.epoch, header_msg))
             return

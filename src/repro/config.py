@@ -220,6 +220,12 @@ class ExperimentConfig:
         topology: "single-az" (the paper's main setting) or
             "three-regions" (the WAN experiment, E9).
         record_trace: keep individual trace events (costly on big runs).
+        observability: attach a :class:`repro.obs.SpanRecorder` to the
+            cluster — block-lifecycle spans, epoch events, and
+            per-message delay samples for the ``repro.obs`` analyses and
+            exporters.  Recording is observationally inert (seeded
+            fingerprints are byte-identical either way) but costs memory
+            proportional to the message count; off by default.
     """
 
     protocol: str
@@ -232,6 +238,7 @@ class ExperimentConfig:
     faults: Tuple[Tuple[int, str], ...] = ()
     topology: str = "single-az"
     record_trace: bool = False
+    observability: bool = False
 
     def validate(self) -> None:
         from .runner.registry import quorum_style_for  # local import: avoid cycle

@@ -15,6 +15,7 @@ from ..crypto.hashing import Digest
 from ..crypto.signatures import Signer
 from ..errors import VerificationError
 from ..mempool.mempool import Mempool
+from ..obs.recorder import SpanRecorder
 from ..types.block import Block, BlockHeader
 from ..types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote, is_genesis_qc
 from ..types.messages import proposal_signing_bytes, PROPOSAL_DOMAIN
@@ -36,6 +37,13 @@ class BaseReplica:
 
     #: Message-class → handler-method-name mapping (subclass declares).
     HANDLERS: Dict[Type, str] = {}
+
+    #: Observability sink (set by the cluster builder when the experiment
+    #: enables observability).  ``None`` means every instrumentation site
+    #: is a single attribute test — the disabled hot path does no obs
+    #: work, and recording never touches RNG, scheduler, or the
+    #: fingerprint counters (the inertness guarantee).
+    obs: Optional[SpanRecorder] = None
 
     def __init__(
         self,
@@ -124,6 +132,18 @@ class BaseReplica:
     def trace(self, kind: str, **detail: Any) -> None:
         if self.ctx is not None:
             self.ctx.trace(kind, **detail)
+
+    # -- observability -----------------------------------------------------------
+
+    def obs_mark(self, kind: str, block_hash: Digest, **attrs: Any) -> None:
+        """Record a block-lifecycle milestone (no-op unless observed)."""
+        if self.obs is not None:
+            self.obs.mark(self.now, kind, self.replica_id, block_hash, **attrs)
+
+    def obs_event(self, kind: str, **attrs: Any) -> None:
+        """Record an epoch/view-level event (no-op unless observed)."""
+        if self.obs is not None:
+            self.obs.event(self.now, kind, self.replica_id, **attrs)
 
     def is_leader(self, epoch: int) -> bool:
         return self.validators.leader_of(epoch) == self.replica_id
@@ -240,7 +260,12 @@ class BaseReplica:
         headers = self.store.chain_between(block_hash, head_hash)
         blocks = [self.store.block(h.block_hash) for h in headers]
         self.ledger.commit_chain(blocks, self.now)
+        observed = self.obs is not None
         for block in blocks:
             self.mempool.remove_committed(block.payload.transactions)
             self.trace("commit", height=block.height, txs=len(block.payload))
+            if observed:
+                self.obs_mark(
+                    "commit", block.block_hash, epoch=block.epoch, height=block.height
+                )
         return blocks

@@ -61,6 +61,20 @@ from ..crypto.hashing import Digest
 from ..crypto.signatures import Signer
 from ..errors import BlockStoreError, VerificationError
 from ..mempool.mempool import Mempool
+from ..obs.recorder import (
+    EVENT_BLAME,
+    EVENT_EPOCH_CHANGE,
+    EVENT_EPOCH_ENTER,
+    EVENT_EPOCH_TIMEOUT,
+    EVENT_EQUIVOCATION,
+    EVENT_FORK,
+    MARK_CERTIFY,
+    MARK_HEADER,
+    MARK_PAYLOAD,
+    MARK_PROPOSE,
+    MARK_VOTE,
+    MARK_WINDOW,
+)
 from ..types.block import BlockHeader, BlockPayload, make_block
 from ..types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote, genesis_qc
 from ..types.messages import (
@@ -215,6 +229,14 @@ class AlterBFTReplica(BaseReplica):
         self._awaiting_qc = block.block_hash
         self._proposed_in_epoch = True
         self.trace("propose", epoch=self.epoch, height=block.height, txs=len(batch))
+        if self.obs is not None:
+            self.obs_mark(
+                MARK_PROPOSE,
+                block.block_hash,
+                epoch=self.epoch,
+                height=block.height,
+                txs=len(batch),
+            )
         # Header first (small, Δ-timely), payload second (large).
         self.broadcast(header_msg)
         self.broadcast(payload_msg)
@@ -280,6 +302,13 @@ class AlterBFTReplica(BaseReplica):
         # ancestry of whichever branch survives the epoch change.
         first_time = self.store.add_header(header)
         if first_time:
+            if self.obs is not None:
+                self.obs_mark(
+                    MARK_HEADER,
+                    header.block_hash,
+                    epoch=header.epoch,
+                    height=header.height,
+                )
             self._justify_of[header.block_hash] = msg.justify
             self._header_msgs[header.block_hash] = msg
             self._update_high_qc(msg.justify)
@@ -351,6 +380,7 @@ class AlterBFTReplica(BaseReplica):
             return
         self._equivocated.add(epoch)
         self.trace("equivocation_detected", epoch=epoch, leader=first.header.proposer)
+        self.obs_event(EVENT_EQUIVOCATION, epoch=epoch, leader=first.header.proposer)
         self.broadcast(EquivocationProofMsg(first=first, second=second), include_self=False)
         self._send_blame(epoch)
 
@@ -367,6 +397,7 @@ class AlterBFTReplica(BaseReplica):
             return
         self._equivocated.add(h1.epoch)
         self.trace("equivocation_learned", epoch=h1.epoch)
+        self.obs_event(EVENT_EQUIVOCATION, epoch=h1.epoch, learned=True)
         self.broadcast(msg, include_self=False)
         self._send_blame(h1.epoch)
 
@@ -399,6 +430,8 @@ class AlterBFTReplica(BaseReplica):
             raise VerificationError("payload does not match header commitment")
         if not self.store.add_payload(block_hash, payload):
             return
+        if self.obs is not None:
+            self.obs_mark(MARK_PAYLOAD, block_hash)
         if header is not None:
             self._maybe_vote_chain(header.epoch)
         self._unpark(self._parked_on_payload, block_hash)
@@ -466,6 +499,10 @@ class AlterBFTReplica(BaseReplica):
             self.signer, self.protocol_name, header.epoch, header.height, header.block_hash
         )
         self.trace("vote", epoch=header.epoch, height=header.height)
+        if self.obs is not None:
+            self.obs_mark(
+                MARK_VOTE, header.block_hash, epoch=header.epoch, height=header.height
+            )
         self.broadcast(VoteMsg(vote=vote))
         # Open the 2Δ equivocation-detection window.
         assert self.ctx is not None
@@ -507,6 +544,10 @@ class AlterBFTReplica(BaseReplica):
         qc = self.record_vote(msg.vote)
         if qc is None:
             return
+        if self.obs is not None:
+            self.obs_mark(
+                MARK_CERTIFY, qc.block_hash, epoch=qc.epoch, height=qc.height
+            )
         self._update_high_qc(qc)
         if self.pacemaker is not None and qc.epoch == self.epoch:
             self.pacemaker.record_progress()
@@ -530,6 +571,8 @@ class AlterBFTReplica(BaseReplica):
             return
         if self.epoch == epoch and self.state != ACTIVE:
             return
+        if self.obs is not None:
+            self.obs_mark(MARK_WINDOW, block_hash, epoch=epoch)
         self._window_clean.add((epoch, block_hash))
         self._try_commit(epoch, block_hash)
 
@@ -583,6 +626,9 @@ class AlterBFTReplica(BaseReplica):
                 # E10 ablations — halt participation and leave the fork
                 # for the harness's cross-replica safety checker.
                 self.trace("fork_detected", height=self.store.header(block_hash).height)
+                self.obs_event(
+                    EVENT_FORK, epoch=epoch, height=self.store.header(block_hash).height
+                )
                 self._fork_detected = True
                 self._window_clean.clear()
                 # Halt entirely: any further participation could only
@@ -682,12 +728,14 @@ class AlterBFTReplica(BaseReplica):
     def _on_epoch_timeout(self, epoch: int) -> None:
         if epoch == self.epoch and self.state == ACTIVE:
             self.trace("epoch_timeout", epoch=epoch)
+            self.obs_event(EVENT_EPOCH_TIMEOUT, epoch=epoch)
             self._send_blame(epoch)
 
     def _send_blame(self, epoch: int) -> None:
         if epoch in self._blamed_epochs or epoch < self.epoch:
             return
         self._blamed_epochs.add(epoch)
+        self.obs_event(EVENT_BLAME, epoch=epoch)
         blame = Blame.create(self.signer, self.protocol_name, epoch)
         self.broadcast(BlameMsg(blame=blame))
 
@@ -708,6 +756,7 @@ class AlterBFTReplica(BaseReplica):
             return
         self._processed_blame_certs.add(cert.epoch)
         self.trace("epoch_change", epoch=cert.epoch)
+        self.obs_event(EVENT_EPOCH_CHANGE, epoch=cert.epoch)
         # Gossip the certificate so every honest replica quits within Δ.
         self.broadcast(BlameCertMsg(cert=cert), include_self=False)
         self.state = QUITTING
@@ -722,6 +771,7 @@ class AlterBFTReplica(BaseReplica):
             return
         self.epoch = new_epoch
         self.state = ACTIVE
+        self.obs_event(EVENT_EPOCH_ENTER, epoch=new_epoch)
         self._entry_rank = self.high_qc.rank
         self._proposed_in_epoch = False
         self._awaiting_qc = None

@@ -19,6 +19,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..codec import encoded_size
 from ..errors import SimulationError
+from ..obs.recorder import SpanRecorder
 from ..sim.rng import RngFactory
 from ..sim.scheduler import Scheduler
 from ..sim.tracing import Trace
@@ -53,10 +54,14 @@ class SimNetwork:
         trace: Optional[Trace] = None,
         egress_bandwidth: Optional[float] = None,
         priority_threshold: int = 0,
+        obs: Optional[SpanRecorder] = None,
     ) -> None:
         self.scheduler = scheduler
         self.delay_model = delay_model
         self.trace = trace if trace is not None else Trace()
+        #: Observability sink for per-message delay samples; ``None``
+        #: (the default) keeps the send path free of any obs work.
+        self.obs = obs
         self.egress_bandwidth = egress_bandwidth
         #: Messages at or below this size bypass egress queueing — the
         #: priority lane that justifies the hybrid model's small-message
@@ -155,6 +160,17 @@ class SimNetwork:
             start = max(departure, self._egress_free.get(src, 0.0))
             departure = start + size / self.egress_bandwidth
             self._egress_free[src] = departure
+        if self.obs is not None:
+            # Latency as the receiver experiences it: egress queueing at
+            # the sender plus the sampled network delay.
+            self.obs.message(
+                scheduler.now,
+                src,
+                dst,
+                type(msg).__name__,
+                size,
+                departure + delay - scheduler.now,
+            )
         scheduler.post_at(departure + delay, self._deliver, src, dst, msg)
 
     def _crosses_partition(self, src: int, dst: int) -> bool:

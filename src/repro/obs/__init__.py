@@ -1,0 +1,76 @@
+"""``repro.obs`` — span-level consensus observability.
+
+The subsystem instruments the consensus hot path end to end:
+
+* :mod:`repro.obs.recorder` — the :class:`SpanRecorder` replicas and the
+  simulated network write block-lifecycle marks, epoch events, and
+  per-message delay samples into.  Recording is strictly additive: it
+  never touches the RNG streams, the scheduler, or the
+  fingerprint-bearing :class:`~repro.sim.tracing.Trace` counters, so a
+  seeded run produces byte-identical fingerprints with observability on
+  or off (the inertness guarantee; see DESIGN.md "Observability").
+* :mod:`repro.obs.metrics` — a dependency-free metrics registry with
+  counters, gauges, and fixed-bucket latency histograms.
+* :mod:`repro.obs.analyze` — assembles recorded marks into per-block
+  lifecycles, phase-latency breakdowns, epoch-change timelines,
+  straggler detection, and Δ-headroom analysis.
+* :mod:`repro.obs.export` — Chrome-trace (Perfetto-compatible) JSON and
+  JSONL exporters plus the matching loaders/validators.
+* ``python -m repro.obs`` — the trace-analysis CLI ("why was this block
+  slow"); see :mod:`repro.obs.__main__`.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .recorder import (
+    BLOCK_MILESTONES,
+    MARK_CERTIFY,
+    MARK_COMMIT,
+    MARK_HEADER,
+    MARK_PAYLOAD,
+    MARK_PROPOSE,
+    MARK_VOTE,
+    MARK_WINDOW,
+    MsgSample,
+    ObsEvent,
+    SpanRecorder,
+)
+from .analyze import ObsSummary, summarize_recording
+from .export import (
+    read_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "BLOCK_MILESTONES",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MARK_CERTIFY",
+    "MARK_COMMIT",
+    "MARK_HEADER",
+    "MARK_PAYLOAD",
+    "MARK_PROPOSE",
+    "MARK_VOTE",
+    "MARK_WINDOW",
+    "MetricsRegistry",
+    "MsgSample",
+    "ObsEvent",
+    "ObsSummary",
+    "SpanRecorder",
+    "read_jsonl",
+    "summarize_recording",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

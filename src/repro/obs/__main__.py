@@ -1,0 +1,377 @@
+"""``python -m repro.obs`` — the trace-analysis CLI.
+
+Subcommands:
+
+* ``record`` — run a seeded scenario with observability enabled and
+  export the recording (JSONL + Chrome trace) to a directory.
+* ``report`` — per-block phase-latency breakdown plus aggregate phase
+  histogram statistics for an exported trace.
+* ``block`` — "why was this block slow": per-replica milestones and the
+  phase decomposition for one block (hash prefix).
+* ``epochs`` — epoch-change timeline with triggering blames.
+* ``stragglers`` — per-replica delivery/commit lag profile.
+* ``headroom`` — observed small-message delay vs the configured Δ.
+* ``validate`` — structural validation of JSONL and Chrome-trace files;
+  the JSONL is also round-tripped through the Chrome exporter.
+
+``report``/``block``/... operate on the JSONL export (the lossless
+format); ``validate`` accepts both formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..runner.report import format_table
+from .analyze import (
+    PHASE_NAMES,
+    assemble_lifecycles,
+    delta_headroom,
+    epoch_timeline,
+    phase_durations,
+    straggler_rows,
+    summarize_recording,
+)
+from .export import (
+    read_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .recorder import SpanRecorder
+
+#: Float tolerance when cross-checking phase sums vs end-to-end latency.
+SUM_TOLERANCE_MS = 1e-6
+
+
+def _load(path: str) -> Tuple[Dict[str, Any], SpanRecorder]:
+    meta, recorder = read_jsonl(path)
+    return meta, recorder
+
+
+def _bounds_from_meta(meta: Dict[str, Any]) -> Tuple[float, int]:
+    delta = float(meta.get("delta", 0.0))
+    threshold = int(meta.get("small_threshold", 4096))
+    return delta, threshold
+
+
+def _round_row(row: Dict[str, object], digits: int = 3) -> Dict[str, object]:
+    return {
+        k: (round(v, digits) if isinstance(v, float) else v) for k, v in row.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# record
+# ---------------------------------------------------------------------------
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from ..bench.common import make_config
+    from ..runner.cluster import build_cluster
+
+    config = dataclasses.replace(
+        make_config(
+            args.protocol,
+            f=args.f,
+            rate=args.rate if args.rate > 0 else None,
+            duration=args.duration,
+            warmup=min(1.0, args.duration / 4),
+            seed=args.seed,
+        ),
+        observability=True,
+    )
+    cluster = build_cluster(config)
+    cluster.start()
+    cluster.run()
+    assert cluster.obs is not None
+    ledger_state = b"".join(
+        h
+        for replica in cluster.replicas
+        if replica.replica_id in cluster.honest_ids
+        for h in replica.ledger.all_hashes()
+    )
+    meta = {
+        "protocol": config.protocol,
+        "seed": config.seed,
+        "f": config.protocol_config.f,
+        "n": config.protocol_config.n,
+        "rate": args.rate,
+        "duration": args.duration,
+        "delta": config.protocol_config.delta,
+        "small_threshold": config.network_config.small_threshold,
+        "fingerprint": cluster.trace.fingerprint(extra=ledger_state),
+    }
+    os.makedirs(args.out_dir, exist_ok=True)
+    jsonl_path = os.path.join(args.out_dir, "trace.jsonl")
+    chrome_path = os.path.join(args.out_dir, "trace_chrome.json")
+    write_jsonl(jsonl_path, cluster.obs, meta)
+    write_chrome_trace(chrome_path, cluster.obs, meta)
+    print(
+        f"recorded {len(cluster.obs.events)} events, "
+        f"{len(cluster.obs.messages)} message samples"
+    )
+    print(f"wrote {jsonl_path}")
+    print(f"wrote {chrome_path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    meta, recorder = _load(args.trace)
+    delta, threshold = _bounds_from_meta(meta)
+    summary = summarize_recording(recorder, delta=delta, small_threshold=threshold)
+    if not summary.block_rows:
+        print("no committed blocks in trace")
+        return 1
+
+    worst_gap = 0.0
+    for row in summary.block_rows:
+        worst_gap = max(worst_gap, abs(row["total_ms"] - row["e2e_ms"]))
+    block_rows = summary.block_rows
+    if args.blocks and len(block_rows) > args.blocks:
+        block_rows = sorted(block_rows, key=lambda r: r["e2e_ms"], reverse=True)[: args.blocks]
+        block_rows.sort(key=lambda r: r["commit_t"])
+        print(f"(showing the {args.blocks} slowest of {len(summary.block_rows)} blocks)")
+    columns = ["block", "height", "epoch", "committer"] + [
+        f"{p}_ms" for p in PHASE_NAMES
+    ] + ["total_ms", "e2e_ms"]
+    print(f"== per-block phase breakdown ({meta.get('protocol', '?')}) ==")
+    print(format_table([_round_row(r) for r in block_rows], columns))
+    print()
+    print("== aggregate phase latency (first committer, all blocks) ==")
+    print(format_table([_round_row(r, 3) for r in summary.phase_rows]))
+    print()
+    print(
+        f"phase-sum check: max |sum(phases) - e2e| = {worst_gap:.9f} ms "
+        f"over {len(summary.block_rows)} blocks"
+        + (" [OK]" if worst_gap <= SUM_TOLERANCE_MS else " [MISMATCH]")
+    )
+    if summary.epoch_rows:
+        print()
+        print("== epoch changes ==")
+        print(format_table(summary.epoch_rows))
+    return 0 if worst_gap <= SUM_TOLERANCE_MS else 1
+
+
+# ---------------------------------------------------------------------------
+# block
+# ---------------------------------------------------------------------------
+
+
+def _cmd_block(args: argparse.Namespace) -> int:
+    meta, recorder = _load(args.trace)
+    lifecycles = assemble_lifecycles(recorder.events)
+    matches = [
+        life for life in lifecycles.values() if life.hex.startswith(args.block.lower())
+    ]
+    if not matches:
+        print(f"no block with hash prefix {args.block!r}")
+        return 1
+    if len(matches) > 1:
+        print(f"ambiguous prefix {args.block!r}: {[m.hex[:12] for m in matches]}")
+        return 1
+    life = matches[0]
+    print(f"block {life.hex}")
+    print(f"height={life.height} epoch={life.epoch} proposer={life.proposer}")
+    committer = life.first_committer()
+    if committer is None:
+        print("never committed in this trace")
+        mark_rows = [
+            {"replica": node, **{k: round(t, 6) for k, t in sorted(kinds.items())}}
+            for node, kinds in sorted(life.marks.items())
+        ]
+        print(format_table(mark_rows))
+        return 0
+    node, committed = committer
+    durations = phase_durations(life.milestones_at(node))
+    assert durations is not None
+    print(f"first commit: replica {node} at t={committed:.6f}s "
+          f"(e2e {(committed - life.propose_time) * 1e3:.3f} ms)")
+    print()
+    phase_rows = [
+        {
+            "phase": phase,
+            "ms": round(durations[phase] * 1e3, 3),
+            "share_%": round(
+                100.0 * durations[phase] / max(committed - life.propose_time, 1e-12), 1
+            ),
+        }
+        for phase in PHASE_NAMES
+    ]
+    print(format_table(phase_rows))
+    slowest = max(PHASE_NAMES, key=lambda p: durations[p])
+    print(f"\nslowest phase: {slowest} ({durations[slowest] * 1e3:.3f} ms)")
+    print()
+    print("== per-replica milestones (s) ==")
+    mark_rows = []
+    for replica, kinds in sorted(life.marks.items()):
+        row: Dict[str, object] = {"replica": replica}
+        for kind in ("header_deliver", "payload_deliver", "vote", "certify",
+                     "window_clean", "commit"):
+            row[kind] = round(kinds[kind], 6) if kind in kinds else "-"
+        mark_rows.append(row)
+    print(format_table(mark_rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# epochs / stragglers / headroom
+# ---------------------------------------------------------------------------
+
+
+def _cmd_epochs(args: argparse.Namespace) -> int:
+    _, recorder = _load(args.trace)
+    rows = epoch_timeline(recorder.events)
+    if not rows:
+        print("no epoch changes in trace")
+        return 0
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_stragglers(args: argparse.Namespace) -> int:
+    _, recorder = _load(args.trace)
+    rows = straggler_rows(assemble_lifecycles(recorder.events), threshold=args.threshold)
+    if not rows:
+        print("no per-replica data in trace")
+        return 0
+    print(format_table([_round_row(r) for r in rows]))
+    flagged = [r["replica"] for r in rows if r["straggler"]]
+    print(f"stragglers: {flagged if flagged else 'none'}")
+    return 0
+
+
+def _cmd_headroom(args: argparse.Namespace) -> int:
+    meta, recorder = _load(args.trace)
+    delta, threshold = _bounds_from_meta(meta)
+    if args.delta is not None:
+        delta = args.delta
+    if delta <= 0:
+        print("no Δ in trace metadata; pass --delta SECONDS")
+        return 1
+    result = delta_headroom(recorder.messages, delta, threshold)
+    by_class = result.pop("by_class")
+    print(format_table([_round_row(result)]))
+    print()
+    print("== by message class (small messages only) ==")
+    rows = [
+        {"class": cls, **_round_row(stats)} for cls, stats in by_class.items()
+    ]
+    print(format_table(rows))
+    violations = result["violations"]
+    print(f"\nΔ violations: {violations}")
+    return 0 if violations == 0 else 2
+
+
+# ---------------------------------------------------------------------------
+# validate
+# ---------------------------------------------------------------------------
+
+
+def _validate_one(path: str) -> List[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            first_line = fh.readline()
+    except OSError as exc:
+        return [str(exc)]
+    try:
+        head = json.loads(first_line)
+    except json.JSONDecodeError:
+        head = None  # multi-line JSON document (e.g. indented Chrome trace)
+    # Both formats start with "{": a JSONL export's first line is its
+    # meta header, while a Chrome trace's first line opens the document.
+    if not (isinstance(head, dict) and head.get("record") == "meta"):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (json.JSONDecodeError, OSError) as exc:
+            return [f"not valid JSON: {exc}"]
+        return validate_chrome_trace(doc)
+    # Otherwise: JSONL.  Parse it, then round-trip through the Chrome
+    # exporter so a JSONL that cannot render as a timeline also fails.
+    try:
+        meta, recorder = read_jsonl(path)
+    except (ValueError, KeyError, OSError) as exc:
+        return [str(exc)]
+    return validate_chrome_trace(to_chrome_trace(recorder, meta))
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    failed = False
+    for path in args.traces:
+        problems = _validate_one(path)
+        if problems:
+            failed = True
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record_p = sub.add_parser("record", help="run a seeded scenario and export its trace")
+    record_p.add_argument("--protocol", default="alterbft")
+    record_p.add_argument("--f", type=int, default=1)
+    record_p.add_argument("--rate", type=float, default=500.0, help="offered tps (0 = saturation)")
+    record_p.add_argument("--duration", type=float, default=2.0)
+    record_p.add_argument("--seed", type=int, default=7)
+    record_p.add_argument("--out-dir", default="obs_trace")
+    record_p.set_defaults(func=_cmd_record)
+
+    report_p = sub.add_parser("report", help="phase-latency breakdown for a trace")
+    report_p.add_argument("trace")
+    report_p.add_argument("--blocks", type=int, default=20,
+                          help="cap on per-block rows shown (0 = all)")
+    report_p.set_defaults(func=_cmd_report)
+
+    block_p = sub.add_parser("block", help="why was this block slow")
+    block_p.add_argument("trace")
+    block_p.add_argument("block", help="block hash prefix (hex)")
+    block_p.set_defaults(func=_cmd_block)
+
+    epochs_p = sub.add_parser("epochs", help="epoch-change timeline with blames")
+    epochs_p.add_argument("trace")
+    epochs_p.set_defaults(func=_cmd_epochs)
+
+    stragglers_p = sub.add_parser("stragglers", help="per-replica lag profile")
+    stragglers_p.add_argument("trace")
+    stragglers_p.add_argument("--threshold", type=float, default=1.5)
+    stragglers_p.set_defaults(func=_cmd_stragglers)
+
+    headroom_p = sub.add_parser("headroom", help="small-message delay vs Δ")
+    headroom_p.add_argument("trace")
+    headroom_p.add_argument("--delta", type=float, default=None)
+    headroom_p.set_defaults(func=_cmd_headroom)
+
+    validate_p = sub.add_parser("validate", help="validate exported trace files")
+    validate_p.add_argument("traces", nargs="+")
+    validate_p.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(sys.argv[1:] if argv is None else argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Trace exporters and loaders: Chrome-trace JSON and JSONL.
+
+Two formats serve two audiences:
+
+* **Chrome trace** (``trace_chrome.json``) — the Trace Event Format
+  consumed by ``chrome://tracing`` and Perfetto.  Each replica is a
+  process; block-lifecycle phases become complete (``"X"``) duration
+  events on a per-height track, epoch events become instants (``"i"``).
+  This is a *view* of the recording: derived spans, lossy by design.
+* **JSONL** (``trace.jsonl``) — the lossless event log: a header record
+  followed by one JSON object per mark/event/message sample.  The CLI
+  analyses (:mod:`repro.obs.__main__`) operate on this format, and it
+  round-trips back into a :class:`~repro.obs.recorder.SpanRecorder`.
+
+Timestamps in Chrome traces are **microseconds**; the recorder's are
+simulation seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .analyze import PHASE_NAMES, assemble_lifecycles, phase_durations
+from .recorder import (
+    BLOCK_MILESTONES,
+    MARK_COMMIT,
+    MARK_PROPOSE,
+    MsgSample,
+    ObsEvent,
+    SpanRecorder,
+)
+
+JSONL_SCHEMA = 1
+
+#: Chrome-trace event names this exporter may produce, the validator's
+#: reference vocabulary.
+CHROME_SPAN_NAMES = frozenset(PHASE_NAMES)
+
+
+def _us(t: float) -> float:
+    return t * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(
+    recorder: SpanRecorder, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Render a recording as a Trace Event Format document.
+
+    Per replica (pid) and block, consecutive clamped milestones become
+    ``"X"`` phase spans on the block's height track (tid); epoch-level
+    events become ``"i"`` instants on tid 0.
+    """
+    events: List[Dict[str, Any]] = []
+    pids = set()
+
+    lifecycles = assemble_lifecycles(recorder.events)
+    for life in lifecycles.values():
+        for node in sorted(life.marks):
+            milestones = life.milestones_at(node)
+            if MARK_PROPOSE not in milestones:
+                continue
+            pids.add(node)
+            clamped = milestones[MARK_PROPOSE]
+            commit_t = milestones.get(MARK_COMMIT)
+            tid = life.height if life.height is not None else 0
+            for milestone, phase in zip(BLOCK_MILESTONES[1:], PHASE_NAMES):
+                if milestone not in milestones:
+                    continue
+                t = max(milestones[milestone], clamped)
+                if commit_t is not None and t > commit_t:
+                    t = max(commit_t, clamped)  # late certificate: cap at commit
+                events.append(
+                    {
+                        "name": phase,
+                        "cat": "block",
+                        "ph": "X",
+                        "pid": node,
+                        "tid": tid,
+                        "ts": _us(clamped),
+                        "dur": _us(t - clamped),
+                        "args": {
+                            "block": life.hex[:16],
+                            "height": life.height,
+                            "epoch": life.epoch,
+                        },
+                    }
+                )
+                clamped = t
+
+    for event in recorder.events:
+        if event.block is not None:
+            continue
+        pids.add(event.node)
+        events.append(
+            {
+                "name": event.kind,
+                "cat": "epoch",
+                "ph": "i",
+                "s": "p",
+                "pid": event.node,
+                "tid": 0,
+                "ts": _us(event.time),
+                "args": dict(event.attrs),
+            }
+        )
+
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": f"replica {pid}"},
+            }
+        )
+
+    events.sort(key=lambda e: (e["ph"] != "M", e["ts"], e["pid"], e["tid"]))
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+        "traceEvents": events,
+    }
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document has no traceEvents array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"{where}: unknown phase type {ph!r}")
+            continue
+        for key in ("name", "pid", "tid", "ts"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(event.get("ts"), (int, float)) or event.get("ts", 0) < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs non-negative dur")
+            if event.get("name") not in CHROME_SPAN_NAMES:
+                problems.append(f"{where}: unknown span name {event.get('name')!r}")
+            block = event.get("args", {}).get("block")
+            if not isinstance(block, str) or not _is_hex(block):
+                problems.append(f"{where}: span lacks a hex block id")
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+    return problems
+
+
+def _is_hex(s: str) -> bool:
+    try:
+        bytes.fromhex(s)
+        return True
+    except ValueError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def _jsonable_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        k: (v.hex() if isinstance(v, (bytes, bytearray)) else v) for k, v in attrs.items()
+    }
+
+
+def jsonl_records(
+    recorder: SpanRecorder, meta: Optional[Dict[str, Any]] = None
+) -> Iterable[Dict[str, Any]]:
+    """The JSONL document as an iterable of records (header first)."""
+    yield {
+        "record": "meta",
+        "schema": JSONL_SCHEMA,
+        "events": len(recorder.events),
+        "messages": len(recorder.messages),
+        **_jsonable_attrs(dict(meta or {})),
+    }
+    for event in recorder.events:
+        record: Dict[str, Any] = {
+            "record": "event",
+            "t": event.time,
+            "kind": event.kind,
+            "node": event.node,
+        }
+        if event.block is not None:
+            record["block"] = event.block.hex()
+        if event.attrs:
+            record["attrs"] = _jsonable_attrs(event.attrs)
+        yield record
+    for sample in recorder.messages:
+        yield {
+            "record": "msg",
+            "t": sample.time,
+            "src": sample.src,
+            "dst": sample.dst,
+            "cls": sample.cls,
+            "size": sample.size,
+            "latency": sample.latency,
+        }
+
+
+def write_jsonl(path: str, recorder: SpanRecorder, meta: Optional[Dict[str, Any]] = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in jsonl_records(recorder, meta):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str) -> Tuple[Dict[str, Any], SpanRecorder]:
+    """Load a JSONL export back into (meta, recorder).
+
+    Raises ``ValueError`` on structural problems — the CLI's ``validate``
+    command surfaces these as validation failures.
+    """
+    recorder = SpanRecorder()
+    meta: Dict[str, Any] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from exc
+            kind = record.get("record")
+            if lineno == 1:
+                if kind != "meta":
+                    raise ValueError(f"{path}: first record must be the meta header")
+                if record.get("schema") != JSONL_SCHEMA:
+                    raise ValueError(
+                        f"{path}: unsupported schema {record.get('schema')!r}"
+                    )
+                meta = {
+                    k: v for k, v in record.items() if k not in ("record", "schema")
+                }
+            elif kind == "event":
+                block = record.get("block")
+                recorder.events.append(
+                    ObsEvent(
+                        time=float(record["t"]),
+                        kind=str(record["kind"]),
+                        node=int(record["node"]),
+                        block=bytes.fromhex(block) if block is not None else None,
+                        attrs=dict(record.get("attrs", {})),
+                    )
+                )
+            elif kind == "msg":
+                recorder.messages.append(
+                    MsgSample(
+                        time=float(record["t"]),
+                        src=int(record["src"]),
+                        dst=int(record["dst"]),
+                        cls=str(record["cls"]),
+                        size=int(record["size"]),
+                        latency=float(record["latency"]),
+                    )
+                )
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    if meta.get("events") not in (None, len(recorder.events)):
+        raise ValueError(
+            f"{path}: header declares {meta.get('events')} events, found "
+            f"{len(recorder.events)}"
+        )
+    if meta.get("messages") not in (None, len(recorder.messages)):
+        raise ValueError(
+            f"{path}: header declares {meta.get('messages')} messages, found "
+            f"{len(recorder.messages)}"
+        )
+    return meta, recorder
+
+
+def write_chrome_trace(
+    path: str, recorder: SpanRecorder, meta: Optional[Dict[str, Any]] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(recorder, meta), fh)

@@ -1,0 +1,127 @@
+"""The span recorder: what the hot path writes observability data into.
+
+Design constraints (see DESIGN.md "Observability"):
+
+* **Inert.**  Recording must not perturb the simulation: no RNG draws,
+  no scheduler posts, no writes to the fingerprint-bearing
+  :class:`~repro.sim.tracing.Trace` counters.  The recorder only appends
+  to Python lists.
+* **Free when disabled.**  Instrumentation sites hold the recorder as an
+  attribute that is ``None`` by default and guard with a single
+  ``is not None`` check, so a run without observability executes no
+  extra calls on the hot path.
+* **Cheap when enabled.**  One small object append per mark; span
+  assembly, histogram filling, and export all happen *after* the run
+  (:mod:`repro.obs.analyze`).
+
+The data model is deliberately flat: replicas record **marks** (a
+timestamped milestone for a block, e.g. ``vote``) and **events**
+(epoch-level incidents, e.g. ``epoch_change``), and the network records
+**message samples** (class, size, delay).  Spans — the propose →
+header → payload → vote → certify → 2Δ-wait → commit phases — are
+derived from consecutive marks at analysis time, which keeps the
+recording path branch-free and lets one recording serve every analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, NamedTuple, Optional
+
+#: Block-lifecycle milestone marks, in canonical pipeline order.  The
+#: interval between two consecutive milestones is one *phase*; analysis
+#: clamps out-of-order arrivals (e.g. a payload landing before its
+#: header) so per-phase durations always telescope to commit − propose.
+MARK_PROPOSE = "propose"
+MARK_HEADER = "header_deliver"
+MARK_PAYLOAD = "payload_deliver"
+MARK_VOTE = "vote"
+MARK_CERTIFY = "certify"
+MARK_WINDOW = "window_clean"
+MARK_COMMIT = "commit"
+
+BLOCK_MILESTONES = (
+    MARK_PROPOSE,
+    MARK_HEADER,
+    MARK_PAYLOAD,
+    MARK_VOTE,
+    MARK_CERTIFY,
+    MARK_WINDOW,
+    MARK_COMMIT,
+)
+
+#: Epoch/view-level event kinds (non-exhaustive; recorders accept any).
+EVENT_EPOCH_TIMEOUT = "epoch_timeout"
+EVENT_BLAME = "blame"
+EVENT_EQUIVOCATION = "equivocation"
+EVENT_EPOCH_CHANGE = "epoch_change"
+EVENT_EPOCH_ENTER = "epoch_enter"
+EVENT_VIEW_TIMEOUT = "view_timeout"
+EVENT_FORK = "fork_detected"
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One recorded mark or event.
+
+    ``block`` is the block hash for lifecycle marks and ``None`` for
+    epoch-level events; ``attrs`` carries auxiliary detail (epoch,
+    height, transaction count, ...).
+    """
+
+    time: float
+    kind: str
+    node: int
+    block: Optional[bytes] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class MsgSample(NamedTuple):
+    """One delivered message observed at the network layer."""
+
+    time: float
+    src: int
+    dst: int
+    cls: str
+    size: int
+    latency: float
+
+
+class SpanRecorder:
+    """Append-only sink for marks, events, and message samples."""
+
+    def __init__(self) -> None:
+        self.events: List[ObsEvent] = []
+        self.messages: List[MsgSample] = []
+
+    # The hot path calls exactly one of these three methods per site.
+
+    def mark(
+        self,
+        time: float,
+        kind: str,
+        node: int,
+        block: bytes,
+        **attrs: Any,
+    ) -> None:
+        """Record a block-lifecycle milestone."""
+        self.events.append(ObsEvent(time=time, kind=kind, node=node, block=block, attrs=attrs))
+
+    def event(self, time: float, kind: str, node: int, **attrs: Any) -> None:
+        """Record an epoch/view-level event."""
+        self.events.append(ObsEvent(time=time, kind=kind, node=node, attrs=attrs))
+
+    def message(
+        self, time: float, src: int, dst: int, cls: str, size: int, latency: float
+    ) -> None:
+        """Record one delivered message with its end-to-end latency."""
+        self.messages.append(MsgSample(time, src, dst, cls, size, latency))
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events) + len(self.messages)
+
+    def marks_of(self, kind: str) -> List[ObsEvent]:
+        """All recorded events of one kind, in recording order."""
+        return [e for e in self.events if e.kind == kind]

@@ -22,6 +22,7 @@ from typing import List, Tuple
 
 from ..bench.common import make_config
 from ..runner.cluster import build_cluster
+from ..sim.tracing import Trace
 from .timing import BenchResult, summarize
 
 
@@ -53,8 +54,8 @@ FAST_CONFIGS: Tuple[E2EConfig, ...] = (
 )
 
 
-def run_one(config: E2EConfig) -> Tuple[float, int, int, str]:
-    """One seeded run: (wall seconds, events, committed txs, fingerprint)."""
+def run_one(config: E2EConfig) -> Tuple[float, int, int, str, Trace]:
+    """One seeded run: (wall seconds, events, committed txs, fingerprint, trace)."""
     cfg = make_config(
         "alterbft",
         f=config.f,
@@ -75,22 +76,26 @@ def run_one(config: E2EConfig) -> Tuple[float, int, int, str]:
     )
     fingerprint = cluster.trace.fingerprint(extra=ledger_state)
     committed = cluster.collector.committed_tx_count(cfg.max_sim_time)
-    return wall, cluster.scheduler.events_processed, committed, fingerprint
+    return wall, cluster.scheduler.events_processed, committed, fingerprint, cluster.trace
 
 
 def bench_e2e(config: E2EConfig, reps: int) -> List[BenchResult]:
     """Run one operating point ``reps`` times; assert determinism."""
     walls: List[float] = []
     fingerprints: List[str] = []
+    traces: List[Trace] = []
     events = committed = 0
     for _ in range(reps):
-        wall, events, committed, fingerprint = run_one(config)
+        wall, events, committed, fingerprint, trace = run_one(config)
         walls.append(wall)
         fingerprints.append(fingerprint)
+        traces.append(trace)
     if len(set(fingerprints)) != 1:
         raise AssertionError(
             f"{config.label}: non-deterministic run — fingerprints {set(fingerprints)}"
         )
+    # Sweep-wide wire totals: the per-rep traces merged into one.
+    sweep = Trace.merged(traces).summary()
     meta = {
         "rate": config.rate,
         "f": config.f,
@@ -99,6 +104,8 @@ def bench_e2e(config: E2EConfig, reps: int) -> List[BenchResult]:
         "events": events,
         "committed_txs": committed,
         "fingerprint": fingerprints[0],
+        "sweep_messages": sweep["messages"],
+        "sweep_bytes": sweep["bytes"],
     }
     return [
         summarize(

@@ -22,7 +22,7 @@ from ..measure.stats import LatencySummary
 from ..net.delay import HybridCloudDelayModel
 from .experiment import run_experiment, standard_protocol_config
 from .registry import protocol_names
-from .report import format_table
+from .report import format_table, phase_breakdown_table
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -49,10 +49,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         faults=tuple((int(i), b) for i, _, b in
                      (s.partition(":") for s in args.fault)),
+        observability=args.obs,
     )
     result = run_experiment(config)
     print(format_table([result.row()]))
     print(f"latency (ms): {result.latency.as_millis()}")
+    if args.obs:
+        print("\nphase-latency breakdown:")
+        print(phase_breakdown_table(result))
     return 0 if result.safety_ok else 1
 
 
@@ -109,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="ID:BEHAVIOR",
         help="e.g. 1:crash@3.0 (repeatable)",
+    )
+    run_p.add_argument(
+        "--obs",
+        action="store_true",
+        help="record block-lifecycle spans and print the phase breakdown",
     )
     run_p.set_defaults(func=_cmd_run)
 

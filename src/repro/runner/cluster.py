@@ -9,7 +9,7 @@ whole exercise is about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..config import ExperimentConfig
 from ..consensus.context import SimContext
@@ -21,6 +21,7 @@ from ..mempool.workload import WorkloadGenerator
 from ..net.delay import DelayModel, HybridCloudDelayModel, WanDelayModel
 from ..net.simnet import SimNetwork
 from ..net.topology import single_az, three_regions
+from ..obs.recorder import SpanRecorder
 from ..sim.rng import RngFactory
 from ..sim.scheduler import Scheduler
 from ..sim.tracing import Trace
@@ -47,6 +48,8 @@ class Cluster:
     trace: Trace
     honest_ids: Set[int] = field(default_factory=set)
     delay_model: DelayModel = None  # type: ignore[assignment]
+    #: Span recorder, present iff the config enabled observability.
+    obs: Optional[SpanRecorder] = None
 
     def start(self) -> None:
         """Schedule protocol start and workload generation at t=0."""
@@ -87,6 +90,7 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
     scheduler = Scheduler()
     rng_factory = RngFactory(config.seed)
     trace = Trace(record_events=config.record_trace)
+    obs = SpanRecorder() if config.observability else None
     delay_model = make_delay_model(config)
     network = SimNetwork(
         scheduler,
@@ -95,6 +99,7 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
         trace,
         egress_bandwidth=config.network_config.egress_bandwidth,
         priority_threshold=config.network_config.small_threshold,
+        obs=obs,
     )
 
     signers = build_cluster_keys(pconf.signature_scheme, pconf.n)
@@ -114,6 +119,7 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
             signer=signers[replica_id],
             mempool=Mempool(),
         )
+        replica.obs = obs
         _instrument(replica, collector, scheduler)
         if replica_id in faulty:
             apply_behavior(faulty[replica_id], replica, network, scheduler)
@@ -146,6 +152,7 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
         trace=trace,
         honest_ids=honest_ids,
         delay_model=delay_model,
+        obs=obs,
     )
 
 

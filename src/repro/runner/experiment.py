@@ -33,6 +33,16 @@ def summarize(cluster: Cluster) -> ExperimentResult:
     latencies = collector.tx_latencies(end)
     committed = collector.committed_tx_count(end)
 
+    obs_summary = None
+    if cluster.obs is not None:
+        from ..obs.analyze import summarize_recording
+
+        obs_summary = summarize_recording(
+            cluster.obs,
+            delta=config.protocol_config.delta,
+            small_threshold=config.network_config.small_threshold,
+        )
+
     counters = cluster.trace.counters
     honest_replicas = [r for r in cluster.replicas if r.replica_id in cluster.honest_ids]
     if config.protocol in ("alterbft", "sync-hotstuff"):
@@ -59,6 +69,7 @@ def summarize(cluster: Cluster) -> ExperimentResult:
         bytes_per_node=dict(cluster.trace.bytes_sent_by_node),
         safety_ok=check_safety(cluster.replicas, cluster.honest_ids),
         offered_rate=config.workload.rate,
+        obs=obs_summary,
     )
 
 

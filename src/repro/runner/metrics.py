@@ -9,11 +9,14 @@ methodology); block-level consensus latency is measured at the proposer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..measure.stats import LatencySummary
 from ..mempool.mempool import TxKey
 from ..types.block import Block
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.analyze import ObsSummary
 
 
 @dataclass
@@ -132,6 +135,14 @@ class ExperimentResult:
     safety_ok: bool
     offered_rate: Optional[float] = None
     extra: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
+    #: Observability distillation (phase histograms, epoch timeline,
+    #: stragglers, Δ-headroom); present iff the run enabled
+    #: ``ExperimentConfig.observability``.
+    obs: Optional["ObsSummary"] = None
+
+    def phase_breakdown_rows(self) -> List[Dict[str, object]]:
+        """Aggregate per-phase latency stats (empty without observability)."""
+        return list(self.obs.phase_rows) if self.obs is not None else []
 
     def row(self) -> Dict[str, object]:
         """Flat dict for report tables."""

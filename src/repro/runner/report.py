@@ -55,6 +55,26 @@ def results_table(results: Iterable[ExperimentResult], extra_cols: Sequence[str]
     return format_table(rows, columns)
 
 
+def phase_breakdown_table(result: ExperimentResult) -> str:
+    """Per-phase latency table for an observability-enabled run.
+
+    Renders the aggregate phase histograms the ``repro.obs`` registry
+    accumulated (propose → header → payload → vote → certify → 2Δ-wait →
+    commit, plus the end-to-end row); empty-string when the run was not
+    observed.
+    """
+    rows = result.phase_breakdown_rows()
+    if not rows:
+        return ""
+    rounded = [
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in rows
+    ]
+    return format_table(
+        rounded, ["phase", "count", "mean_ms", "p50_ms", "p99_ms", "max_ms", "share_%"]
+    )
+
+
 def speedup(base: float, other: float) -> float:
     """How many times smaller ``other`` is than ``base``."""
     if other <= 0:

@@ -59,8 +59,32 @@ class Trace:
             "messages": self.counters.get("messages", 0),
             "bytes": self.counters.get("bytes", 0),
             "by_type": dict(self.messages_by_type),
+            "bytes_sent_by_node": dict(self.bytes_sent_by_node),
             "counters": dict(self.counters),
         }
+
+    def merge(self, other: "Trace") -> "Trace":
+        """Fold ``other``'s counters (and recorded events) into this trace.
+
+        Multi-run aggregation: repetition sweeps merge their per-run
+        traces into one before summarizing, so per-node byte totals and
+        message-type mixes cover the whole sweep.  Returns ``self`` for
+        chaining.
+        """
+        self.counters.update(other.counters)
+        self.bytes_sent_by_node.update(other.bytes_sent_by_node)
+        self.messages_by_type.update(other.messages_by_type)
+        if self.record_events:
+            self.events.extend(other.events)
+        return self
+
+    @classmethod
+    def merged(cls, traces: "List[Trace]") -> "Trace":
+        """A fresh trace aggregating every trace in ``traces``."""
+        out = cls(record_events=any(t.record_events for t in traces))
+        for trace in traces:
+            out.merge(trace)
+        return out
 
     def fingerprint(self, extra: Optional[bytes] = None) -> str:
         """Deterministic digest of every counter this trace accumulated.

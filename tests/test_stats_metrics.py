@@ -117,6 +117,37 @@ class TestMetricsCollector:
         collector = MetricsCollector(warmup=0.0, honest_ids={0})
         assert collector.max_commit_gap(0.0, 5.0) == 5.0
 
+    def test_reproposed_block_keeps_first_proposal_time(self):
+        # A block re-proposed after a view change (same hash) must keep
+        # its original propose time, or latency would shrink.
+        collector = MetricsCollector(warmup=0.0, honest_ids={0})
+        block = self.make_block_at(1, genesis_block().block_hash, ())
+        collector.note_proposal(block.block_hash, 1.0)
+        collector.note_proposal(block.block_hash, 2.5)  # re-proposal: ignored
+        collector.observe_commit(0, block, 3.0)
+        [latency] = collector.block_latencies()
+        assert latency == pytest.approx(2.0)
+
+    def test_commit_before_proposal_observed(self):
+        # A commit whose proposal was never noted (e.g. a block inherited
+        # through state transfer) contributes no block-latency sample.
+        collector = MetricsCollector(warmup=0.0, honest_ids={0})
+        block = self.make_block_at(1, genesis_block().block_hash, ())
+        collector.observe_commit(0, block, 3.0)
+        assert collector.block_latencies() == []
+        assert collector.committed_blocks() == 1
+
+    def test_byzantine_commit_does_not_anchor_block_latency(self):
+        # A Byzantine replica "committing" early must not become the
+        # first-commit anchor; latency runs to the first honest commit.
+        collector = MetricsCollector(warmup=0.0, honest_ids={0})
+        block = self.make_block_at(1, genesis_block().block_hash, ())
+        collector.note_proposal(block.block_hash, 1.0)
+        collector.observe_commit(7, block, 1.1)  # Byzantine: ignored
+        collector.observe_commit(0, block, 2.0)
+        [latency] = collector.block_latencies()
+        assert latency == pytest.approx(1.0)
+
 
 class TestReport:
     def test_format_table_alignment(self):
