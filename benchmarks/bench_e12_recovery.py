@@ -1,0 +1,19 @@
+"""E12 — crash recovery and state transfer.
+
+Shape: every rejoiner converges to the honest ledger; time-to-catchup
+stays bounded (a large-message transfer, not re-execution) and is
+reported per downtime and per checkpoint cadence K.
+"""
+
+from repro.bench import e12_recovery
+
+
+def test_e12_recovery(run_output):
+    output = run_output(e12_recovery)
+    assert all(r["converged"] for r in output.rows)
+    assert output.headline["all_converged"]
+    for row in output.rows:
+        assert row["catchup_ms"] != "stalled", row
+        # Catchup is a transfer cost, well under the simulated tail the
+        # run leaves after the rejoin.
+        assert float(row["catchup_ms"]) < 2500.0, row

@@ -30,12 +30,19 @@ from ..obs.recorder import MARK_PAYLOAD, MARK_PROPOSE
 from ..types.messages import (
     BlameCertMsg,
     BlameMsg,
+    BlockRangeRequestMsg,
+    BlockRangeResponseMsg,
+    CheckpointVoteMsg,
     EquivocationProofMsg,
     PayloadRequestMsg,
     PayloadResponseMsg,
     ProposalHeaderMsg,
     SHProposalMsg,
+    SnapshotRequestMsg,
+    SnapshotResponseMsg,
     StatusMsg,
+    StatusRequestMsg,
+    StatusResponseMsg,
     VoteMsg,
 )
 
@@ -54,6 +61,13 @@ class SyncHotStuffReplica(AlterBFTReplica):
         StatusMsg: "on_status",
         PayloadRequestMsg: "on_payload_request",
         PayloadResponseMsg: "on_payload_response",
+        CheckpointVoteMsg: "on_checkpoint_vote",
+        StatusRequestMsg: "on_status_request",
+        StatusResponseMsg: "on_status_response",
+        SnapshotRequestMsg: "on_snapshot_request",
+        SnapshotResponseMsg: "on_snapshot_response",
+        BlockRangeRequestMsg: "on_block_range_request",
+        BlockRangeResponseMsg: "on_block_range_response",
     }
 
     def __init__(self, *args, **kwargs) -> None:

@@ -50,9 +50,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 PROFILES = ("calibrated", "adversarial", "stall-large")
 
 #: Message types the adversary may drop: each has a request/repair path
-#: (see AlterBFTReplica.on_payload_request), so a dropped copy is
-#: re-fetched and eventual delivery survives.
-_DROPPABLE_TYPES = ("PayloadMsg", "PayloadResponseMsg")
+#: (payloads re-fetch via AlterBFTReplica.on_payload_request; catchup
+#: responses re-request on the recovery retry timer, rotating providers),
+#: so a dropped copy is re-fetched and eventual delivery survives.
+_DROPPABLE_TYPES = (
+    "PayloadMsg",
+    "PayloadResponseMsg",
+    "SnapshotResponseMsg",
+    "BlockRangeResponseMsg",
+)
 
 #: Per-copy drop probability for droppable large messages (adversarial
 #: profile).  Kept low so the repair path, not luck, restores timeliness.

@@ -1,7 +1,7 @@
 """First-class invariant checkers over finished simulation runs.
 
 Each checker consumes a run cluster (replica state, metrics, trace) and
-renders a verdict with enough detail to act on a violation.  The three
+renders a verdict with enough detail to act on a violation.  The
 invariants are the correctness claims the repository exists to test:
 
 * **agreement** — no two honest replicas commit conflicting blocks at any
@@ -12,7 +12,10 @@ invariants are the correctness claims the repository exists to test:
   certificate known somewhere in the honest cluster;
 * **bounded-gap liveness** — once faults have played out (the scenario's
   *recovery time*), no honest replica goes longer than the model-derived
-  bound without committing.
+  bound without committing;
+* **recovery** — every replica that crashed and restarted caught back up
+  to a prefix of the honest ledger without ever contradicting a vote it
+  journaled before the crash.
 
 Checkers never mutate the cluster; they can run repeatedly and in any
 order.  A violation is reported as data, not an exception — the sweep
@@ -25,7 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Set
 
 from ..crypto.hashing import short_hex
-from ..types.certificates import QuorumCertificate
+from ..types.certificates import QuorumCertificate, Vote
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runner.cluster import Cluster
@@ -34,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 AGREEMENT = "agreement"
 CERTIFIED_CHAIN = "certified-chain"
 BOUNDED_GAP = "bounded-gap"
+RECOVERY = "recovery"
 
 
 @dataclass(frozen=True)
@@ -163,6 +167,64 @@ def check_bounded_gap(
     return InvariantResult(BOUNDED_GAP, True)
 
 
+def check_recovery(cluster: "Cluster") -> InvariantResult:
+    """Every restarted replica rejoined without stalling or regressing.
+
+    Applies to replicas carrying a :class:`~repro.recovery.RecoveryManager`
+    that actually restarted during the run (vacuously true otherwise).
+    Three claims per rejoiner:
+
+    * **convergence** — its committed ledger is a prefix of (or equal to)
+      the longest honest ledger; a rejoiner that installed a forged
+      snapshot or fetched a fork would diverge here;
+    * **caught up** — catchup completed (``caught_up_at`` set).  This is
+      the harness's stall detector: a Byzantine quorum withholding
+      snapshots/ranges past every retry shows up as a violation;
+    * **no double vote** — the write-ahead log never records two votes
+      for the same (epoch, height) with different block hashes, i.e. the
+      restart did not make the replica contradict its pre-crash self.
+    """
+    honest = [r for r in cluster.replicas if r.replica_id in cluster.honest_ids]
+    longest = max(
+        (r.ledger.all_hashes() for r in honest), key=len, default=[]
+    )
+    for replica in cluster.replicas:
+        manager = getattr(replica, "recovery", None)
+        if manager is None or manager.restarts == 0:
+            continue
+        rid = replica.replica_id
+        chain = replica.ledger.all_hashes()
+        if chain != longest[: len(chain)]:
+            return InvariantResult(
+                RECOVERY,
+                False,
+                f"replica {rid}: rejoined ledger diverges from honest prefix",
+            )
+        if manager.caught_up_at is None:
+            return InvariantResult(
+                RECOVERY,
+                False,
+                f"replica {rid}: catchup stalled (state={manager.state!r}, "
+                f"retries={manager.fetch_retries})",
+            )
+        wal = getattr(replica, "wal", None)
+        if wal is not None:
+            voted = {}
+            for vote in wal.replay():
+                if not isinstance(vote, Vote):
+                    continue
+                key = (vote.epoch, vote.height)
+                earlier = voted.setdefault(key, vote.block_hash)
+                if earlier != vote.block_hash:
+                    return InvariantResult(
+                        RECOVERY,
+                        False,
+                        f"replica {rid}: WAL shows conflicting votes at "
+                        f"epoch {vote.epoch} height {vote.height}",
+                    )
+    return InvariantResult(RECOVERY, True)
+
+
 def check_all(
     cluster: "Cluster",
     recovery_time: Optional[float] = None,
@@ -172,6 +234,7 @@ def check_all(
     results = [check_agreement(cluster), check_certified_chain(cluster)]
     if recovery_time is not None and gap_bound is not None:
         results.append(check_bounded_gap(cluster, recovery_time, gap_bound))
+    results.append(check_recovery(cluster))
     return results
 
 

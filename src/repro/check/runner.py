@@ -1,6 +1,6 @@
 """Seed-sweep runner: execute scenarios, check invariants, report.
 
-``python -m repro.check`` runs the default grid (210 scenarios across
+``python -m repro.check`` runs the default grid (252 scenarios across
 {AlterBFT, Sync HotStuff} × {fault behaviors} × {adversary profiles} ×
 seeds), expecting **zero** invariant violations, then demonstrates that
 the harness detects real violations by re-running the E10 relay-off
@@ -146,7 +146,7 @@ def _print_report(results: Sequence[ScenarioResult]) -> int:
     verdict = "PASS" if not failed else "FAIL"
     print(
         f"\n{verdict}: {len(results) - len(failed)}/{len(results)} scenarios satisfied "
-        "agreement, certified-chain, and bounded-gap invariants"
+        "agreement, certified-chain, bounded-gap, and recovery invariants"
     )
     return len(failed)
 
@@ -172,7 +172,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Sweep seeded fault/adversary scenarios and check consensus invariants.",
     )
     parser.add_argument(
-        "--seeds", type=int, default=7, help="seeds per combo (default 7 → 210 scenarios)"
+        "--seeds", type=int, default=7, help="seeds per combo (default 7 → 252 scenarios)"
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     parser.add_argument(

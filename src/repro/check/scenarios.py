@@ -30,7 +30,7 @@ from .adversary import PROFILES
 PROTOCOLS = ("alterbft", "sync-hotstuff")
 
 #: Fault behaviors in the default sweep ("none" = fault-free control).
-BEHAVIORS = ("none", "crash", "equivocate", "withhold_payload", "delay_send")
+BEHAVIORS = ("none", "crash", "crash-recover", "equivocate", "withhold_payload", "delay_send")
 
 #: The single Byzantine/faulty replica.  Replica 1 leads epoch 1 under
 #: round-robin rotation, so faulty-leader paths trigger immediately.
@@ -38,6 +38,16 @@ FAULTY_ID = 1
 
 #: When the crash behavior fires, simulated seconds.
 CRASH_TIME = 1.0
+
+#: When a crash-recover replica comes back up, simulated seconds.  Two
+#: seconds of downtime is long enough that the rejoiner genuinely missed
+#: committed history and must run the catchup protocol.
+REJOIN_TIME = 3.0
+
+#: Checkpoint cadence for the crash-recover scenarios, committed blocks.
+#: Small so even short runs cross several checkpoints and exercise both
+#: snapshot install and block-store pruning.
+CHECKPOINT_K = 4
 
 #: Liveness is only asserted after this instant: late enough for the
 #: crash, the stall-large window, and initial epoch churn to play out.
@@ -134,6 +144,9 @@ def build_config(scenario: Scenario) -> ExperimentConfig:
         faults: Tuple[Tuple[int, str], ...] = ()
     elif scenario.behavior == "crash":
         faults = ((FAULTY_ID, f"crash@{CRASH_TIME}"),)
+    elif scenario.behavior == "crash-recover":
+        faults = ((FAULTY_ID, f"crash-recover@{CRASH_TIME}:{REJOIN_TIME}"),)
+        pconf = pconf.with_(checkpoint_interval=CHECKPOINT_K)
     else:
         faults = ((FAULTY_ID, scenario.behavior),)
     return ExperimentConfig(
@@ -180,7 +193,7 @@ def default_grid(
 ) -> List[Scenario]:
     """The sweep grid, seed-major within each combo.
 
-    The defaults give 2 × 5 × 3 × 7 = 210 scenarios, clearing the
+    The defaults give 2 × 6 × 3 × 7 = 252 scenarios, clearing the
     200-scenario acceptance floor.
     """
     grid = []

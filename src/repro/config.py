@@ -55,6 +55,16 @@ class ProtocolConfig:
             the payload matching the header digest arrived (E10).
         signature_scheme: "hashsig" (fast, simulation-grade) or "schnorr"
             (real transferable signatures; slower).
+        checkpoint_interval: every K committed blocks, sign a checkpoint
+            over (height, cumulative ledger digest); f+1 matching
+            signatures form a checkpoint certificate that lets the block
+            store prune the committed prefix and lets rejoining replicas
+            adopt the prefix without re-running consensus.  0 (the
+            default) disables checkpointing entirely — no extra
+            messages, timers, or trace events are produced.
+        catchup_retry: per-provider timeout before a catching-up replica
+            re-requests a snapshot/block range from an alternate
+            provider (Byzantine providers must not stall catchup).
     """
 
     n: int
@@ -69,6 +79,8 @@ class ProtocolConfig:
     relay_headers: bool = True
     vote_requires_payload: bool = True
     signature_scheme: str = "hashsig"
+    checkpoint_interval: int = 0
+    catchup_retry: float = 0.25
 
     def validate(self, quorum_style: str = "2f+1") -> None:
         """Check internal consistency for a given resilience style.
@@ -96,6 +108,8 @@ class ProtocolConfig:
             self.signature_scheme in ("hashsig", "schnorr"),
             f"unknown signature scheme {self.signature_scheme!r}",
         )
+        _require(self.checkpoint_interval >= 0, "checkpoint_interval must be >= 0")
+        _require(self.catchup_retry > 0, "catchup_retry must be positive")
 
     @property
     def quorum_2f1(self) -> int:

@@ -133,6 +133,33 @@ class BlockStore:
             chain.append(header)
         raise BlockStoreError("descendant does not extend ancestor (or chain has gaps)")
 
+    # -- garbage collection -------------------------------------------------------
+
+    def prune_below(self, height: int) -> List[Digest]:
+        """Drop every header/payload strictly below ``height``.
+
+        Called once a checkpoint certificate proves the prefix below
+        ``height`` is committed cluster-wide: fork siblings and ancestors
+        alike can never be needed again (``walk_ancestors`` from any live
+        block simply stops at the pruned boundary).  Returns the removed
+        hashes so callers can drop their own per-block indexes.
+        """
+        removed = [
+            block_hash
+            for block_hash, header in self._headers.items()
+            if header.height < height
+        ]
+        for block_hash in removed:
+            header = self._headers.pop(block_hash)
+            self._payloads.pop(block_hash, None)
+            self._children.pop(block_hash, None)
+            siblings = self._children.get(header.parent)
+            if siblings is not None:
+                siblings.discard(block_hash)
+                if not siblings:
+                    del self._children[header.parent]
+        return removed
+
     def missing_payloads(self, block_hash: Digest, stop: Digest) -> List[Digest]:
         """Hashes on the chain (stop, block_hash] whose payloads are absent."""
         missing = []

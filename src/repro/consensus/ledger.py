@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from ..crypto.hashing import Digest
+from ..crypto.hashing import Digest, sha256
 from ..errors import LedgerError, SafetyViolation
 from ..types.block import Block, genesis_block
 
@@ -27,6 +27,10 @@ class Ledger:
         self._blocks: List[Block] = [genesis_block()]
         self._hashes = {self._blocks[0].block_hash}
         self._listeners: List[CommitListener] = []
+        # Lazy cumulative state digests (see :meth:`state_digest`); index
+        # h covers blocks[0..h].  Extended on demand so runs that never
+        # checkpoint pay nothing.
+        self._digests: List[Digest] = [self._blocks[0].block_hash]
 
     def add_listener(self, listener: CommitListener) -> None:
         self._listeners.append(listener)
@@ -56,8 +60,8 @@ class Ledger:
     def is_committed(self, block_hash: Digest) -> bool:
         return block_hash in self._hashes
 
-    def commit(self, block: Block, now: float) -> None:
-        """Append ``block``; it must directly extend the current head."""
+    def _append(self, block: Block) -> None:
+        """Validate and append ``block`` without notifying listeners."""
         head = self._blocks[-1]
         if block.height != head.height + 1:
             raise SafetyViolation(
@@ -71,6 +75,10 @@ class Ledger:
             raise LedgerError("committed block has payload/header mismatch")
         self._blocks.append(block)
         self._hashes.add(block.block_hash)
+
+    def commit(self, block: Block, now: float) -> None:
+        """Append ``block``; it must directly extend the current head."""
+        self._append(block)
         for listener in self._listeners:
             listener(block, now)
 
@@ -78,6 +86,38 @@ class Ledger:
         """Commit several blocks in ascending height order."""
         for block in blocks:
             self.commit(block, now)
+
+    def install_snapshot(self, blocks: List[Block]) -> None:
+        """Adopt an already-committed chain prefix (recovery catchup).
+
+        Appends without firing commit listeners: these blocks committed
+        on other replicas long ago — metrics/clients must not count them
+        as fresh commits on the rejoining replica.  The chain invariants
+        are still enforced per block.
+        """
+        for block in blocks:
+            self._append(block)
+
+    def state_digest(self, height: int) -> Digest:
+        """Cumulative digest over the committed prefix up to ``height``.
+
+        Defined by ``d(0) = genesis hash`` and
+        ``d(h) = sha256(d(h-1) || block_hash(h))`` — the quantity a
+        checkpoint certificate signs.  Computed lazily and cached, so a
+        run with checkpointing disabled never hashes anything.
+        """
+        if not 0 <= height < len(self._blocks):
+            raise LedgerError(f"no committed block at height {height}")
+        while len(self._digests) <= height:
+            h = len(self._digests)
+            self._digests.append(sha256(self._digests[h - 1] + self._blocks[h].block_hash))
+        return self._digests[height]
+
+    def blocks_in_range(self, from_height: int, to_height: int) -> List[Block]:
+        """Committed blocks with ``from_height < height <= to_height``."""
+        if to_height > self.height:
+            raise LedgerError(f"no committed block at height {to_height}")
+        return self._blocks[from_height + 1 : to_height + 1]
 
     def all_hashes(self) -> List[Digest]:
         return [b.block_hash for b in self._blocks]

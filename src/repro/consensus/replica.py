@@ -45,6 +45,13 @@ class BaseReplica:
     #: fingerprint counters (the inertness guarantee).
     obs: Optional[SpanRecorder] = None
 
+    #: Write-ahead log and recovery manager (set by the cluster builder
+    #: when the experiment enables checkpointing/recovery).  ``None``
+    #: keeps every journaling/checkpoint site a single attribute test —
+    #: the disabled path is observationally inert.
+    wal: Optional[object] = None
+    recovery: Optional["RecoveryManager"] = None
+
     def __init__(
         self,
         replica_id: int,
@@ -268,4 +275,6 @@ class BaseReplica:
                 self.obs_mark(
                     "commit", block.block_hash, epoch=block.epoch, height=block.height
                 )
+        if self.recovery is not None:
+            self.recovery.on_committed(blocks)
         return blocks

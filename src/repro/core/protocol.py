@@ -68,6 +68,8 @@ from ..obs.recorder import (
     EVENT_EPOCH_TIMEOUT,
     EVENT_EQUIVOCATION,
     EVENT_FORK,
+    EVENT_RECOVERY_REPLAY,
+    EVENT_RECOVERY_RESTART,
     MARK_CERTIFY,
     MARK_HEADER,
     MARK_PAYLOAD,
@@ -75,25 +77,37 @@ from ..obs.recorder import (
     MARK_VOTE,
     MARK_WINDOW,
 )
+from ..recovery.wal import WalEpochRecord
 from ..types.block import BlockHeader, BlockPayload, make_block
 from ..types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote, genesis_qc
 from ..types.messages import (
     BlameCertMsg,
     BlameMsg,
+    BlockRangeRequestMsg,
+    BlockRangeResponseMsg,
     BlockRequestMsg,
     BlockResponseMsg,
+    CheckpointVoteMsg,
     EquivocationProofMsg,
     PayloadMsg,
     PayloadRequestMsg,
     PayloadResponseMsg,
     ProposalHeaderMsg,
+    SnapshotRequestMsg,
+    SnapshotResponseMsg,
     StatusMsg,
+    StatusRequestMsg,
+    StatusResponseMsg,
     VoteMsg,
 )
 
 #: Replica participation state within the current epoch.
 ACTIVE = "active"
 QUITTING = "quitting"
+#: Post-restart state: catching up via repro.recovery; the replica
+#: serves data but neither votes, proposes, nor changes epochs until
+#: catchup re-enters it into steady state.
+RECOVERING = "recovering"
 
 
 class AlterBFTReplica(BaseReplica):
@@ -113,6 +127,13 @@ class AlterBFTReplica(BaseReplica):
         PayloadResponseMsg: "on_payload_response",
         BlockRequestMsg: "on_block_request",
         BlockResponseMsg: "on_block_response",
+        CheckpointVoteMsg: "on_checkpoint_vote",
+        StatusRequestMsg: "on_status_request",
+        StatusResponseMsg: "on_status_response",
+        SnapshotRequestMsg: "on_snapshot_request",
+        SnapshotResponseMsg: "on_snapshot_response",
+        BlockRangeRequestMsg: "on_block_range_request",
+        BlockRangeResponseMsg: "on_block_range_response",
     }
 
     def __init__(
@@ -151,6 +172,11 @@ class AlterBFTReplica(BaseReplica):
         # Epoch change.
         self._blamed_epochs: Set[int] = set()
         self._processed_blame_certs: Set[int] = set()
+        # Blame certificates received while RECOVERING, replayed on rejoin.
+        self._pending_blame_certs: List[BlameCertificate] = []
+        # Processed certificates by epoch, kept to unstick stragglers
+        # that blame an epoch the cluster already abandoned.
+        self._blame_cert_log: Dict[int, BlameCertificate] = {}
         self._proposed_in_epoch = False
         # Leader pipeline: hash of the tip proposal awaiting certification.
         self._awaiting_qc: Optional[Digest] = None
@@ -498,6 +524,10 @@ class AlterBFTReplica(BaseReplica):
         vote = Vote.create(
             self.signer, self.protocol_name, header.epoch, header.height, header.block_hash
         )
+        if self.wal is not None:
+            # Journal before broadcast: a restart replays this and can
+            # never emit a second vote at (or below) the same height.
+            self.wal.append(vote)
         self.trace("vote", epoch=header.epoch, height=header.height)
         if self.obs is not None:
             self.obs_mark(
@@ -564,6 +594,8 @@ class AlterBFTReplica(BaseReplica):
     def _update_high_qc(self, qc: QuorumCertificate) -> None:
         if qc.rank > self.high_qc.rank:
             self.high_qc = qc
+            if self.wal is not None:
+                self.wal.append(qc)
 
     def _timer_commit_wait(self, payload: Tuple[int, Digest]) -> None:
         epoch, block_hash = payload
@@ -740,6 +772,16 @@ class AlterBFTReplica(BaseReplica):
         self.broadcast(BlameMsg(blame=blame))
 
     def on_blame(self, src: int, msg: BlameMsg) -> None:
+        # A blame for an epoch this replica already abandoned marks the
+        # sender as a straggler (e.g. a rejoiner that missed the change
+        # while down).  Re-offer the stored certificate — nobody ever
+        # re-broadcasts an old one otherwise, and the straggler cannot
+        # leave the dead epoch without it.
+        if msg.blame.epoch < self.epoch:
+            stored = self._blame_cert_log.get(msg.blame.epoch)
+            if stored is not None:
+                self.send(src, BlameCertMsg(cert=stored))
+            return
         cert = self.record_blame(msg.blame)
         if cert is not None:
             self._handle_blame_cert(cert)
@@ -754,7 +796,17 @@ class AlterBFTReplica(BaseReplica):
     def _handle_blame_cert(self, cert: BlameCertificate) -> None:
         if cert.epoch in self._processed_blame_certs or cert.epoch < self.epoch:
             return
+        if self.state == RECOVERING:
+            # Epoch changes are suspended during catchup, but the
+            # certificate must not be lost: if the change races the
+            # rejoin, the status responses may still report the old
+            # epoch, and nobody re-broadcasts an old blame certificate —
+            # dropping it would strand the joiner there.  Buffer it and
+            # replay once catchup finishes.
+            self._pending_blame_certs.append(cert)
+            return
         self._processed_blame_certs.add(cert.epoch)
+        self._blame_cert_log[cert.epoch] = cert
         self.trace("epoch_change", epoch=cert.epoch)
         self.obs_event(EVENT_EPOCH_CHANGE, epoch=cert.epoch)
         # Gossip the certificate so every honest replica quits within Δ.
@@ -767,12 +819,20 @@ class AlterBFTReplica(BaseReplica):
         self.ctx.set_timer(self.config.delta, "enter_epoch", cert.epoch + 1)
 
     def _timer_enter_epoch(self, new_epoch: int) -> None:
-        if new_epoch <= self.epoch:
+        if new_epoch <= self.epoch or self.state == RECOVERING:
             return
         self.epoch = new_epoch
         self.state = ACTIVE
         self.obs_event(EVENT_EPOCH_ENTER, epoch=new_epoch)
         self._entry_rank = self.high_qc.rank
+        if self.wal is not None:
+            self.wal.append(
+                WalEpochRecord(
+                    epoch=new_epoch,
+                    rank_epoch=self._entry_rank[0],
+                    rank_height=self._entry_rank[1],
+                )
+            )
         self._proposed_in_epoch = False
         self._awaiting_qc = None
         self.mempool.requeue_inflight()
@@ -805,3 +865,154 @@ class AlterBFTReplica(BaseReplica):
         if self._proposed_in_epoch:
             return
         self._propose_block()
+
+    # ------------------------------------------------------------------
+    # Recovery: WAL restart + catchup (see repro.recovery)
+    #
+    # All of this is inert unless the cluster builder attached a WAL and
+    # a RecoveryManager — every entry point is a single None test.
+    # ------------------------------------------------------------------
+
+    def on_checkpoint_vote(self, src: int, msg: CheckpointVoteMsg) -> None:
+        if self.recovery is not None:
+            self.recovery.on_checkpoint_vote(src, msg)
+
+    def on_status_request(self, src: int, msg: StatusRequestMsg) -> None:
+        if self.recovery is not None:
+            self.recovery.on_status_request(src, msg)
+
+    def on_status_response(self, src: int, msg: StatusResponseMsg) -> None:
+        if self.recovery is not None:
+            self.recovery.on_status_response(src, msg)
+
+    def on_snapshot_request(self, src: int, msg: SnapshotRequestMsg) -> None:
+        if self.recovery is not None:
+            self.recovery.on_snapshot_request(src, msg)
+
+    def on_snapshot_response(self, src: int, msg: SnapshotResponseMsg) -> None:
+        if self.recovery is not None:
+            self.recovery.on_snapshot_response(src, msg)
+
+    def on_block_range_request(self, src: int, msg: BlockRangeRequestMsg) -> None:
+        if self.recovery is not None:
+            self.recovery.on_block_range_request(src, msg)
+
+    def on_block_range_response(self, src: int, msg: BlockRangeResponseMsg) -> None:
+        if self.recovery is not None:
+            self.recovery.on_block_range_response(src, msg)
+
+    def _timer_recovery_retry(self, payload: Tuple[str, int]) -> None:
+        if self.recovery is not None:
+            self.recovery.on_retry(payload)
+
+    def drop_block_indexes(self, removed: List[Digest]) -> None:
+        """Forget per-block indexes for checkpoint-pruned blocks."""
+        removed_set = set(removed)
+        for block_hash in removed_set:
+            self._header_msgs.pop(block_hash, None)
+            self._justify_of.pop(block_hash, None)
+            self._relayed.discard(block_hash)
+            self._payload_requested.discard(block_hash)
+            self._header_requested.discard(block_hash)
+        self._window_clean = {w for w in self._window_clean if w[1] not in removed_set}
+
+    def restart_from_wal(self) -> None:
+        """Reconstruct volatile state from the WAL after a crash.
+
+        Re-runs ``__init__`` on the same object (the cluster and network
+        keep references to the replica and its bound methods), restores
+        the durable attachments, replays the journal, and starts
+        catchup.  Stale pre-crash timers may still fire afterwards; each
+        of them re-checks state and no-ops harmlessly on the fresh
+        instance.
+        """
+        ctx = self.ctx
+        listeners = list(self.ledger._listeners)
+        # wal / recovery / obs and any instrumentation wrappers are
+        # instance attributes __init__ does not touch; they persist.
+        self.__init__(self.replica_id, self.validators, self.config, self.signer, Mempool())
+        self.ctx = ctx
+        self.mempool.wakeup = self._on_mempool_wakeup
+        for listener in listeners:
+            self.ledger.add_listener(listener)
+        self.crashed = False
+        assert ctx is not None
+        self.pacemaker = Pacemaker(
+            ctx,
+            base_timeout=self.config.epoch_timeout,
+            growth=self.config.epoch_timeout_growth,
+            on_timeout=self._on_epoch_timeout,
+        )
+        self.state = RECOVERING
+        replayed = self._replay_wal()
+        self.trace("recovery_restart", epoch=self.epoch, wal_records=replayed)
+        self.obs_event(EVENT_RECOVERY_RESTART, epoch=self.epoch, wal_records=replayed)
+        if self.recovery is not None:
+            self.recovery.start_catchup()
+        else:
+            # Degraded mode (no manager): resume alone from the WAL.
+            self._finish_catchup(self.epoch)
+
+    def _replay_wal(self) -> int:
+        """Restore epoch, entry rank, high_qc, and vote floor from the WAL.
+
+        Returns the number of records replayed.
+        """
+        if self.wal is None:
+            return 0
+        records = self.wal.replay()
+        max_epoch = 1
+        entry_rank: Optional[Tuple[int, int]] = None
+        for record in records:
+            if isinstance(record, Vote):
+                last = self._last_voted.get(record.epoch)
+                if last is None or record.height > last[0]:
+                    self._last_voted[record.epoch] = (record.height, record.block_hash)
+                if record.epoch > max_epoch:
+                    max_epoch = record.epoch
+                    entry_rank = None
+            elif isinstance(record, QuorumCertificate):
+                if record.rank > self.high_qc.rank:
+                    self.high_qc = record
+            elif isinstance(record, WalEpochRecord):
+                if record.epoch >= max_epoch:
+                    max_epoch = record.epoch
+                    entry_rank = (record.rank_epoch, record.rank_height)
+        self.epoch = max_epoch
+        self._entry_rank = entry_rank if entry_rank is not None else self.high_qc.rank
+        # Never (re-)propose in a resumed epoch: a pre-crash proposal may
+        # already be out there, and a second one would be equivocation.
+        self._proposed_in_epoch = True
+        return len(records)
+
+    def _finish_catchup(self, join_epoch: int) -> None:
+        """Re-enter steady state at ``join_epoch`` after catchup."""
+        self.epoch = max(self.epoch, join_epoch)
+        self.state = ACTIVE
+        self._entry_rank = self.high_qc.rank
+        self._proposed_in_epoch = True
+        self._awaiting_qc = None
+        if self.wal is not None:
+            self.wal.append(
+                WalEpochRecord(
+                    epoch=self.epoch,
+                    rank_epoch=self._entry_rank[0],
+                    rank_height=self._entry_rank[1],
+                )
+            )
+        assert self.pacemaker is not None
+        self.pacemaker.enter_epoch(self.epoch, made_progress=True)
+        self.trace("recovery_replay", epoch=self.epoch)
+        self.obs_event(EVENT_RECOVERY_REPLAY, epoch=self.epoch)
+        # Replay blame certificates buffered while recovering: an epoch
+        # change that raced the rejoin would otherwise be lost for good.
+        pending_certs, self._pending_blame_certs = self._pending_blame_certs, []
+        for cert in pending_certs:
+            self._handle_blame_cert(cert)
+        # Replay proposals buffered while recovering.
+        pending, self._future_headers = self._future_headers, []
+        for epoch, msg in pending:
+            if epoch <= self.epoch:
+                self._accept_header(msg)
+            else:
+                self._future_headers.append((epoch, msg))

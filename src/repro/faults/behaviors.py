@@ -2,12 +2,17 @@
 
 A behavior is applied to a replica at cluster-assembly time by name.
 Names accept an optional ``@time`` suffix (e.g. ``crash@2.5``) for
-behaviors that trigger at a simulated instant.
+behaviors that trigger at a simulated instant, or an ``@t1:t2`` range
+for behaviors spanning an interval (e.g. ``crash-recover@2.0:5.0``).
 
 Available behaviors:
 
 * ``crash[@t]`` — the replica stops sending, receiving, and processing
   timers at time ``t`` (default 0: never participates).
+* ``crash-recover@t_down:t_up`` — crash at ``t_down``, then at ``t_up``
+  reconstruct the replica from its write-ahead log and re-enter via the
+  catchup protocol (requires an AlterBFT-family replica and the
+  ``repro.recovery`` attachments the cluster builder makes for it).
 * ``silent`` — Byzantine silence: processes everything, sends nothing.
 * ``equivocate`` — a Byzantine leader proposes two conflicting blocks at
   every height it leads, sending each to half the cluster.  Supported for
@@ -54,15 +59,31 @@ from ..types.messages import (
 Behavior = Callable[[BaseReplica, SimNetwork, Scheduler], None]
 
 
-def parse_behavior(spec: str) -> Tuple[str, Optional[float]]:
-    """Split ``name@time`` into (name, time)."""
-    if "@" in spec:
-        name, _, when = spec.partition("@")
+def parse_behavior(spec: str) -> Tuple[str, object]:
+    """Split ``name@time`` into (name, time).
+
+    ``name`` alone yields ``(name, None)``; ``name@t`` yields
+    ``(name, float(t))``; ``name@t1:t2`` yields ``(name, (t1, t2))``
+    with ``0 <= t1 < t2`` enforced.
+    """
+    if "@" not in spec:
+        return spec, None
+    name, _, when = spec.partition("@")
+    if ":" in when:
+        lo_text, _, hi_text = when.partition(":")
         try:
-            return name, float(when)
+            lo, hi = float(lo_text), float(hi_text)
         except ValueError:
-            raise ConfigError(f"bad behavior time in {spec!r}") from None
-    return spec, None
+            raise ConfigError(f"bad behavior time range in {spec!r}") from None
+        if lo < 0:
+            raise ConfigError(f"behavior range start must be >= 0 in {spec!r}")
+        if hi <= lo:
+            raise ConfigError(f"behavior range end must exceed its start in {spec!r}")
+        return name, (lo, hi)
+    try:
+        return name, float(when)
+    except ValueError:
+        raise ConfigError(f"bad behavior time in {spec!r}") from None
 
 
 def apply_behavior(
@@ -71,7 +92,15 @@ def apply_behavior(
     """Apply the named behavior to ``replica``."""
     name, when = parse_behavior(spec)
     if name == "crash":
+        if isinstance(when, tuple):
+            raise ConfigError(f"crash takes a single time, not a range: {spec!r}")
         _apply_crash(replica, network, scheduler, when or 0.0)
+    elif name == "crash-recover":
+        if not isinstance(when, tuple):
+            raise ConfigError(
+                f"crash-recover needs a t_down:t_up range, e.g. crash-recover@2.0:5.0: {spec!r}"
+            )
+        _apply_crash_recover(replica, network, scheduler, when)
     elif name == "silent":
         _apply_silent(replica)
     elif name == "equivocate":
@@ -114,6 +143,35 @@ def _apply_crash(
         crash()
     else:
         scheduler.at(when, crash)
+
+
+def _apply_crash_recover(
+    replica: BaseReplica,
+    network: SimNetwork,
+    scheduler: Scheduler,
+    window: Tuple[float, float],
+) -> None:
+    """Crash at ``t_down``; restart from the WAL + catch up at ``t_up``."""
+    if not isinstance(replica, AlterBFTReplica):
+        raise ConfigError("crash-recover behavior requires an AlterBFT-family replica")
+    t_down, t_up = window
+
+    def down() -> None:
+        from ..obs.recorder import EVENT_RECOVERY_DOWN
+
+        replica.trace("recovery_down")
+        replica.obs_event(EVENT_RECOVERY_DOWN)
+        replica.crashed = True
+        network.take_down(replica.replica_id)
+        if replica.pacemaker is not None:
+            replica.pacemaker.stop()
+
+    def up() -> None:
+        network.bring_up(replica.replica_id)
+        replica.restart_from_wal()
+
+    scheduler.at(t_down, down)
+    scheduler.at(t_up, up)
 
 
 def _apply_silent(replica: BaseReplica) -> None:

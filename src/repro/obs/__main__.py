@@ -9,6 +9,8 @@ Subcommands:
 * ``block`` — "why was this block slow": per-replica milestones and the
   phase decomposition for one block (hash prefix).
 * ``epochs`` — epoch-change timeline with triggering blames.
+* ``recovery`` — per-replica crash-recovery drill-down: downtime,
+  catchup milestones, and time-to-catchup.
 * ``stragglers`` — per-replica delivery/commit lag profile.
 * ``headroom`` — observed small-message delay vs the configured Δ.
 * ``validate`` — structural validation of JSONL and Chrome-trace files;
@@ -34,6 +36,7 @@ from .analyze import (
     delta_headroom,
     epoch_timeline,
     phase_durations,
+    recovery_timeline,
     straggler_rows,
     summarize_recording,
 )
@@ -72,6 +75,20 @@ def _round_row(row: Dict[str, object], digits: int = 3) -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 
 
+def _parse_fault(spec: str) -> Tuple[int, str]:
+    """``REPLICA:BEHAVIOR`` → (replica_id, behavior spec)."""
+    replica_part, sep, behavior = spec.partition(":")
+    try:
+        replica_id = int(replica_part)
+    except ValueError:
+        sep = ""
+    if not sep or not behavior:
+        raise argparse.ArgumentTypeError(
+            f"bad fault {spec!r}: want REPLICA:BEHAVIOR, e.g. 1:crash-recover@1.0:3.0"
+        )
+    return replica_id, behavior
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     from ..bench.common import make_config
     from ..runner.cluster import build_cluster
@@ -84,6 +101,8 @@ def _cmd_record(args: argparse.Namespace) -> int:
             duration=args.duration,
             warmup=min(1.0, args.duration / 4),
             seed=args.seed,
+            faults=tuple(args.fault or ()),
+            checkpoint_interval=args.checkpoint_interval,
         ),
         observability=True,
     )
@@ -240,6 +259,21 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    _, recorder = _load(args.trace)
+    rows = recovery_timeline(recorder.events)
+    if not rows:
+        print("no recovery events in trace")
+        return 0
+    stalled = [r["replica"] for r in rows if not r["caught_up"]]
+    print(format_table([_round_row(r) for r in rows]))
+    if stalled:
+        print(f"STALLED: replicas {stalled} restarted but never caught up")
+        return 2
+    print("all restarted replicas caught up")
+    return 0
+
+
 def _cmd_stragglers(args: argparse.Namespace) -> int:
     _, recorder = _load(args.trace)
     rows = straggler_rows(assemble_lifecycles(recorder.events), threshold=args.threshold)
@@ -335,6 +369,20 @@ def build_parser() -> argparse.ArgumentParser:
     record_p.add_argument("--duration", type=float, default=2.0)
     record_p.add_argument("--seed", type=int, default=7)
     record_p.add_argument("--out-dir", default="obs_trace")
+    record_p.add_argument(
+        "--fault",
+        action="append",
+        type=_parse_fault,
+        metavar="REPLICA:BEHAVIOR",
+        help="inject a fault, e.g. 1:crash-recover@1.0:3.0 (repeatable)",
+    )
+    record_p.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=0,
+        metavar="K",
+        help="checkpoint every K committed blocks (0 = off)",
+    )
     record_p.set_defaults(func=_cmd_record)
 
     report_p = sub.add_parser("report", help="phase-latency breakdown for a trace")
@@ -351,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
     epochs_p = sub.add_parser("epochs", help="epoch-change timeline with blames")
     epochs_p.add_argument("trace")
     epochs_p.set_defaults(func=_cmd_epochs)
+
+    recovery_p = sub.add_parser("recovery", help="crash-recovery drill-down")
+    recovery_p.add_argument("trace")
+    recovery_p.set_defaults(func=_cmd_recovery)
 
     stragglers_p = sub.add_parser("stragglers", help="per-replica lag profile")
     stragglers_p.add_argument("trace")

@@ -11,6 +11,8 @@ into per-block **lifecycles** and derives:
 * aggregate **phase histograms** in a :class:`~repro.obs.metrics.MetricsRegistry`;
 * the **epoch-change timeline** with the blames/equivocations that
   triggered each change;
+* the **recovery timeline** — per-replica crash/restart/catchup
+  milestones with downtime and time-to-catchup durations;
 * **straggler detection** — replicas whose delivery or commit lag sits
   far above the cluster median;
 * **Δ-headroom** — observed small-message delay vs the configured bound.
@@ -30,10 +32,14 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
 from .recorder import (
     BLOCK_MILESTONES,
+    EVENT_RECOVERY_CAUGHT_UP,
+    EVENT_RECOVERY_DOWN,
+    EVENT_RECOVERY_RESTART,
     MARK_COMMIT,
     MARK_PROPOSE,
     MsgSample,
     ObsEvent,
+    RECOVERY_MILESTONES,
     SpanRecorder,
 )
 
@@ -273,6 +279,56 @@ def epoch_timeline(events: Iterable[ObsEvent]) -> List[Dict[str, object]]:
                 ),
             }
         )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Recovery timeline
+# ---------------------------------------------------------------------------
+
+
+def recovery_timeline(events: Iterable[ObsEvent]) -> List[Dict[str, object]]:
+    """Crash-recovery forensics: one row per replica that went down.
+
+    Orders each replica's recovery lifecycle events
+    (:data:`~repro.obs.recorder.RECOVERY_MILESTONES`) and derives the two
+    durations operators care about: *downtime* (crash → restart) and
+    *catchup* (restart → caught up, i.e. how long state transfer plus WAL
+    replay took).  A replica with a restart but no ``caught_up`` time
+    never finished catchup — the stall signature.
+    """
+    per_node: Dict[int, Dict[str, Any]] = {}
+    for event in events:
+        if event.kind not in RECOVERY_MILESTONES:
+            continue
+        node = per_node.setdefault(event.node, {"times": {}, "attrs": {}})
+        times = node["times"]
+        if event.kind not in times or event.time < times[event.kind]:
+            times[event.kind] = event.time
+        node["attrs"].update(event.attrs)
+
+    rows = []
+    for node in sorted(per_node):
+        times = per_node[node]["times"]
+        attrs = per_node[node]["attrs"]
+        row: Dict[str, object] = {"replica": node}
+        for kind in RECOVERY_MILESTONES:
+            row[kind] = round(times[kind], 6) if kind in times else "-"
+        down = times.get(EVENT_RECOVERY_DOWN)
+        restart = times.get(EVENT_RECOVERY_RESTART)
+        caught = times.get(EVENT_RECOVERY_CAUGHT_UP)
+        row["downtime_s"] = (
+            round(restart - down, 6) if down is not None and restart is not None else "-"
+        )
+        row["catchup_s"] = (
+            round(caught - restart, 6)
+            if restart is not None and caught is not None
+            else "-"
+        )
+        row["wal_records"] = attrs.get("wal_records", "-")
+        row["target_height"] = attrs.get("target_height", "-")
+        row["caught_up"] = caught is not None or restart is None
+        rows.append(row)
     return rows
 
 

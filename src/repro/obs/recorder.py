@@ -59,6 +59,23 @@ EVENT_EPOCH_ENTER = "epoch_enter"
 EVENT_VIEW_TIMEOUT = "view_timeout"
 EVENT_FORK = "fork_detected"
 
+#: Recovery lifecycle event kinds, in canonical order (repro.recovery).
+EVENT_RECOVERY_DOWN = "recovery_down"
+EVENT_RECOVERY_RESTART = "recovery_restart"
+EVENT_RECOVERY_STATUS = "recovery_status"
+EVENT_RECOVERY_SNAPSHOT = "recovery_snapshot_fetch"
+EVENT_RECOVERY_REPLAY = "recovery_replay"
+EVENT_RECOVERY_CAUGHT_UP = "recovery_caught_up"
+
+RECOVERY_MILESTONES = (
+    EVENT_RECOVERY_DOWN,
+    EVENT_RECOVERY_RESTART,
+    EVENT_RECOVERY_STATUS,
+    EVENT_RECOVERY_SNAPSHOT,
+    EVENT_RECOVERY_REPLAY,
+    EVENT_RECOVERY_CAUGHT_UP,
+)
+
 
 @dataclass(frozen=True)
 class ObsEvent:

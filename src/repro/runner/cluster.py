@@ -14,14 +14,16 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..config import ExperimentConfig
 from ..consensus.context import SimContext
 from ..consensus.replica import BaseReplica
+from ..core.protocol import AlterBFTReplica
 from ..crypto.keystore import build_cluster_keys
-from ..faults.behaviors import apply_behavior
+from ..faults.behaviors import apply_behavior, parse_behavior
 from ..mempool.mempool import Mempool
 from ..mempool.workload import WorkloadGenerator
 from ..net.delay import DelayModel, HybridCloudDelayModel, WanDelayModel
 from ..net.simnet import SimNetwork
 from ..net.topology import single_az, three_regions
 from ..obs.recorder import SpanRecorder
+from ..recovery import MemoryWal, RecoveryManager
 from ..sim.rng import RngFactory
 from ..sim.scheduler import Scheduler
 from ..sim.tracing import Trace
@@ -110,6 +112,14 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
     honest_ids = {i for i in range(pconf.n) if i not in faulty}
     collector = MetricsCollector(warmup=config.warmup, honest_ids=honest_ids)
 
+    # Recovery attachments (WAL + manager) exist only when the run uses
+    # them: checkpointing on, or a crash-recover fault present.  Every
+    # AlterBFT-family replica gets them then — peers must serve status,
+    # snapshot, and block-range requests, not just the rejoiner.
+    needs_recovery = pconf.checkpoint_interval > 0 or any(
+        parse_behavior(spec)[0] == "crash-recover" for spec in faulty.values()
+    )
+
     replicas: List[BaseReplica] = []
     for replica_id in range(pconf.n):
         replica = replica_cls(
@@ -120,6 +130,9 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
             mempool=Mempool(),
         )
         replica.obs = obs
+        if needs_recovery and isinstance(replica, AlterBFTReplica):
+            replica.wal = MemoryWal()
+            replica.recovery = RecoveryManager(replica, pconf.checkpoint_interval)
         _instrument(replica, collector, scheduler)
         if replica_id in faulty:
             apply_behavior(faulty[replica_id], replica, network, scheduler)

@@ -23,6 +23,9 @@ VOTE_DOMAIN = "vote"
 #: Signing domain for blames.
 BLAME_DOMAIN = "blame"
 
+#: Signing domain for checkpoint votes (recovery subsystem).
+CHECKPOINT_DOMAIN = "checkpoint"
+
 
 @lru_cache(maxsize=8192)
 def vote_signing_bytes(protocol: str, phase: int, epoch: int, height: int, block_hash: Digest) -> bytes:
@@ -266,4 +269,131 @@ class BlameCertificate:
         return all(
             signer.verify_digest(blamer, BLAME_DOMAIN, message, sig)
             for blamer, sig in self.blames
+        )
+
+
+@lru_cache(maxsize=1024)
+def checkpoint_signing_bytes(protocol: str, height: int, block_hash: Digest, state_digest: Digest) -> bytes:
+    """Canonical bytes a checkpoint-vote signature covers (memoized)."""
+    return encode((protocol, height, block_hash, state_digest))
+
+
+@register(18)
+@dataclass(frozen=True)
+class CheckpointVote:
+    """A signed attestation that the ledger prefix up to ``height`` is
+    committed with cumulative digest ``state_digest``.
+
+    f+1 matching checkpoint votes prove at least one honest replica
+    committed that prefix, which (by agreement) makes it safe for every
+    replica — including a rejoining one — to adopt.
+    """
+
+    protocol: str
+    height: int
+    block_hash: Digest
+    state_digest: Digest
+    voter: int
+    signature: bytes
+
+    @staticmethod
+    def create(
+        signer: Signer,
+        protocol: str,
+        height: int,
+        block_hash: Digest,
+        state_digest: Digest,
+    ) -> "CheckpointVote":
+        message = checkpoint_signing_bytes(protocol, height, block_hash, state_digest)
+        return CheckpointVote(
+            protocol=protocol,
+            height=height,
+            block_hash=block_hash,
+            state_digest=state_digest,
+            voter=signer.replica_id,
+            signature=signer.digest_and_sign(CHECKPOINT_DOMAIN, message),
+        )
+
+    def verify(self, signer: Signer) -> bool:
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+        ):
+            return memo[2]
+        message = checkpoint_signing_bytes(self.protocol, self.height, self.block_hash, self.state_digest)
+        ok = signer.verify_digest(self.voter, CHECKPOINT_DOMAIN, message, self.signature)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, ok))
+        return ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointVote({self.protocol} h={self.height} "
+            f"{short_hex(self.block_hash)} by {self.voter})"
+        )
+
+
+@register(19)
+@dataclass(frozen=True)
+class CheckpointCertificate:
+    """f+1 matching checkpoint votes: a transferable commit proof for a
+    ledger prefix.
+
+    Unlike a :class:`QuorumCertificate` (which in AlterBFT certifies but
+    does not commit — commitment is a temporal 2Δ condition), a
+    checkpoint certificate *is* a commit proof: f+1 signers include at
+    least one honest replica that committed the prefix.
+    """
+
+    protocol: str
+    height: int
+    block_hash: Digest
+    state_digest: Digest
+    votes: Tuple[Tuple[int, bytes], ...]  # (voter id, signature), voter-sorted
+
+    @staticmethod
+    def from_votes(votes: Tuple[CheckpointVote, ...]) -> "CheckpointCertificate":
+        first = votes[0]
+        assert all(
+            (v.protocol, v.height, v.block_hash, v.state_digest)
+            == (first.protocol, first.height, first.block_hash, first.state_digest)
+            for v in votes
+        ), "cannot aggregate divergent checkpoint votes"
+        pairs = tuple(sorted((v.voter, v.signature) for v in votes))
+        return CheckpointCertificate(
+            protocol=first.protocol,
+            height=first.height,
+            block_hash=first.block_hash,
+            state_digest=first.state_digest,
+            votes=pairs,
+        )
+
+    def verify(self, signer: Signer, quorum: int) -> bool:
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+            and memo[2] == quorum
+        ):
+            return memo[3]
+        ok = self._verify_uncached(signer, quorum)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, quorum, ok))
+        return ok
+
+    def _verify_uncached(self, signer: Signer, quorum: int) -> bool:
+        voters = [voter for voter, _ in self.votes]
+        if len(set(voters)) != len(voters) or len(voters) < quorum:
+            return False
+        message = checkpoint_signing_bytes(self.protocol, self.height, self.block_hash, self.state_digest)
+        return all(
+            signer.verify_digest(voter, CHECKPOINT_DOMAIN, message, sig)
+            for voter, sig in self.votes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointCert({self.protocol} h={self.height} "
+            f"{short_hex(self.block_hash)} x{len(self.votes)})"
         )

@@ -20,7 +20,14 @@ from typing import Optional, Tuple
 from ..codec import register
 from ..crypto.hashing import Digest
 from .block import Block, BlockHeader, BlockPayload
-from .certificates import Blame, BlameCertificate, QuorumCertificate, Vote
+from .certificates import (
+    Blame,
+    BlameCertificate,
+    CheckpointCertificate,
+    CheckpointVote,
+    QuorumCertificate,
+    Vote,
+)
 
 #: Signing domain for proposal headers/blocks (the proposer's signature).
 PROPOSAL_DOMAIN = "proposal"
@@ -154,6 +161,102 @@ class BlockResponseMsg:
 
     proposal: "ProposalHeaderMsg"
     payload: Optional[BlockPayload]
+
+
+# --------------------------------------------------------------------------
+# Recovery / state transfer (AlterBFT family; see repro.recovery)
+#
+# The hybrid model applies to recovery too: checkpoint votes and
+# status requests/responses are *small* (Δ-bounded) control messages,
+# while snapshot and block-range responses carry full payloads and are
+# *large* (eventually timely) — exactly the split the paper's thesis
+# requires of every protocol message.
+# --------------------------------------------------------------------------
+
+
+@register(32)
+@dataclass(frozen=True)
+class CheckpointVoteMsg:
+    """Broadcast checkpoint attestation — a *small* message."""
+
+    vote: CheckpointVote
+
+
+@register(33)
+@dataclass(frozen=True)
+class StatusRequestMsg:
+    """A rejoining replica asks everyone where the chain is — small."""
+
+    sender: int
+
+
+@register(34)
+@dataclass(frozen=True)
+class StatusResponseMsg:
+    """Answer to :class:`StatusRequestMsg` — small.
+
+    Attributes:
+        sender: responding replica.
+        epoch: responder's current epoch.
+        ledger_height: responder's committed height.
+        checkpoint: highest checkpoint certificate the responder holds
+            (None when checkpointing is off or no certificate formed yet).
+        tip: responder's highest quorum certificate.
+    """
+
+    sender: int
+    epoch: int
+    ledger_height: int
+    checkpoint: Optional[CheckpointCertificate]
+    tip: QuorumCertificate
+
+
+@register(35)
+@dataclass(frozen=True)
+class SnapshotRequestMsg:
+    """Ask one provider for committed blocks in (from_height, to_height]
+    — a small request for a large reply."""
+
+    sender: int
+    from_height: int
+    to_height: int
+
+
+@register(36)
+@dataclass(frozen=True)
+class SnapshotResponseMsg:
+    """Answer to :class:`SnapshotRequestMsg`: the requested committed
+    blocks in height order — a *large* message, eventually timely."""
+
+    from_height: int
+    blocks: Tuple[Block, ...]
+
+
+@register(37)
+@dataclass(frozen=True)
+class BlockRangeRequestMsg:
+    """Ask one provider for the certified-but-uncommitted suffix above
+    ``from_height`` — a small request for a large reply."""
+
+    sender: int
+    from_height: int
+
+
+@register(38)
+@dataclass(frozen=True)
+class BlockRangeResponseMsg:
+    """Answer to :class:`BlockRangeRequestMsg` — a *large* message.
+
+    Carries the provider's certified tip (``justify``), full blocks
+    where the provider holds payloads, and bare headers otherwise.  The
+    receiver installs them into its block store only; commitment still
+    happens through normal consensus (certified ≠ committed in
+    AlterBFT's temporal commit rule).
+    """
+
+    justify: QuorumCertificate
+    blocks: Tuple[Block, ...]
+    headers: Tuple[BlockHeader, ...]
 
 
 # --------------------------------------------------------------------------

@@ -122,6 +122,47 @@ class TestAncestry:
         assert [h.height for h in seen] == [2]
 
 
+class TestPruning:
+    def test_prune_below_drops_prefix(self):
+        store = BlockStore()
+        blocks = chain_of(store, 5)
+        removed = store.prune_below(3)
+        assert set(removed) == {store.genesis.block_hash} | {
+            b.block_hash for b in blocks[:2]
+        }
+        for b in blocks[:2]:
+            assert not store.has_header(b.block_hash)
+            assert not store.has_payload(b.block_hash)
+        for b in blocks[2:]:
+            assert store.has_header(b.block_hash)
+
+    def test_prune_below_removes_fork_siblings(self):
+        store = BlockStore()
+        blocks = chain_of(store, 4)
+        # A fork sibling at height 2, off the committed chain.
+        fork = make_block(2, 2, blocks[0].block_hash, (), 1)
+        store.add_block(fork)
+        removed = store.prune_below(3)
+        assert fork.block_hash in removed
+        assert not store.has_header(fork.block_hash)
+        # The surviving suffix keeps intact child indexes.
+        assert store.children(blocks[2].block_hash) == {blocks[3].block_hash}
+
+    def test_walk_ancestors_stops_at_pruned_boundary(self):
+        store = BlockStore()
+        blocks = chain_of(store, 6)
+        store.prune_below(3)
+        seen = list(store.walk_ancestors(blocks[5].block_hash))
+        assert [h.height for h in seen] == [6, 5, 4, 3]
+
+    def test_prune_below_zero_is_noop(self):
+        store = BlockStore()
+        blocks = chain_of(store, 3)
+        assert store.prune_below(0) == []
+        assert store.has_header(store.genesis.block_hash)
+        assert all(store.has_header(b.block_hash) for b in blocks)
+
+
 @settings(max_examples=50, deadline=None)
 @given(
     length=st.integers(min_value=1, max_value=12),

@@ -26,6 +26,33 @@ class TestParsing:
         with pytest.raises(ConfigError):
             parse_behavior("crash@soon")
 
+    def test_time_range(self):
+        assert parse_behavior("crash-recover@2.0:5.0") == ("crash-recover", (2.0, 5.0))
+
+    def test_bad_range_text(self):
+        with pytest.raises(ConfigError):
+            parse_behavior("crash-recover@soon:later")
+
+    def test_range_start_negative(self):
+        with pytest.raises(ConfigError):
+            parse_behavior("crash-recover@-1.0:2.0")
+
+    def test_range_end_not_after_start(self):
+        with pytest.raises(ConfigError):
+            parse_behavior("crash-recover@3.0:3.0")
+
+    def test_crash_rejects_range(self):
+        scheduler = Scheduler()
+        network = SimNetwork(scheduler, UniformDelayModel(0, 0.001), RngFactory(1))
+        with pytest.raises(ConfigError):
+            apply_behavior("crash@1.0:2.0", _replica(), network, scheduler)
+
+    def test_crash_recover_requires_range(self):
+        scheduler = Scheduler()
+        network = SimNetwork(scheduler, UniformDelayModel(0, 0.001), RngFactory(1))
+        with pytest.raises(ConfigError):
+            apply_behavior("crash-recover@1.0", _replica(), network, scheduler)
+
     def test_unknown_behavior(self):
         scheduler = Scheduler()
         network = SimNetwork(scheduler, UniformDelayModel(0, 0.001), RngFactory(1))

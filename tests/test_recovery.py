@@ -1,0 +1,279 @@
+"""Crash recovery: WAL, checkpoints, catchup, rejoin (repro.recovery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.common import make_config
+from repro.check.invariants import RECOVERY, check_recovery
+from repro.crypto.keystore import build_cluster_keys
+from repro.recovery import FileWal, MemoryWal, WalEpochRecord
+from repro.runner.cluster import build_cluster, check_safety
+from repro.types.certificates import Vote, genesis_qc
+from repro.types.messages import (
+    BlockRangeResponseMsg,
+    SnapshotResponseMsg,
+    StatusResponseMsg,
+)
+
+SIGNERS = build_cluster_keys("hashsig", 3)
+
+
+def _vote(epoch=1, height=1, block=b"\x11" * 32, voter=0):
+    return Vote.create(SIGNERS[voter], "alterbft", epoch, height, block)
+
+
+def _records():
+    return [
+        _vote(),
+        _vote(epoch=1, height=2, block=b"\x22" * 32),
+        genesis_qc("alterbft", b"\x00" * 32),
+        WalEpochRecord(epoch=2, rank_epoch=1, rank_height=2),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# WAL round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryWal:
+    def test_round_trip(self):
+        wal = MemoryWal()
+        for record in _records():
+            wal.append(record)
+        assert wal.replay() == _records()
+        assert len(wal) == 4
+
+    def test_replay_is_stable(self):
+        wal = MemoryWal()
+        wal.append(_vote())
+        assert wal.replay() == wal.replay()
+
+
+class TestFileWal:
+    def test_round_trip_across_reopen(self, tmp_path):
+        path = tmp_path / "replica.wal"
+        wal = FileWal(str(path))
+        for record in _records():
+            wal.append(record)
+        wal.close()
+        reopened = FileWal(str(path))
+        assert reopened.replay() == _records()
+        # Appending after reopen preserves the earlier records.
+        extra = _vote(epoch=2, height=3, block=b"\x33" * 32)
+        reopened.append(extra)
+        reopened.close()
+        assert FileWal(str(path)).replay() == _records() + [extra]
+
+    def test_torn_final_frame_is_dropped(self, tmp_path):
+        path = tmp_path / "replica.wal"
+        wal = FileWal(str(path))
+        for record in _records():
+            wal.append(record)
+        wal.close()
+        # Simulate a crash mid-write: truncate inside the last frame.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-3])
+        assert FileWal(str(path)).replay() == _records()[:-1]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "fresh.wal"
+        assert FileWal(str(path)).replay() == []
+
+
+# ---------------------------------------------------------------------------
+# End-to-end rejoin
+# ---------------------------------------------------------------------------
+
+
+def _crash_recover_config(protocol="alterbft", seed=11, f=2, t_down=1.0, t_up=3.0,
+                          interval=3, duration=6.0, rate=400.0):
+    return make_config(
+        protocol,
+        f=f,
+        rate=rate,
+        duration=duration,
+        seed=seed,
+        faults=((1, f"crash-recover@{t_down}:{t_up}"),),
+        checkpoint_interval=interval,
+    )
+
+
+def _run(config):
+    cluster = build_cluster(config)
+    cluster.start()
+    cluster.run()
+    return cluster
+
+
+class TestRejoin:
+    def test_rejoiner_converges_to_honest_ledger(self):
+        cluster = _run(_crash_recover_config())
+        joiner = cluster.replicas[1]
+        manager = joiner.recovery
+        assert manager.restarts == 1
+        assert manager.caught_up_at is not None and manager.caught_up_at >= 3.0
+        honest = [r for r in cluster.replicas if r.replica_id in cluster.honest_ids]
+        chain = joiner.ledger.all_hashes()
+        assert chain, "rejoiner committed nothing"
+        for replica in honest:
+            assert chain == replica.ledger.all_hashes()
+        assert check_safety(cluster.replicas, cluster.honest_ids | {1})
+
+    def test_rejoin_passes_recovery_invariant(self):
+        cluster = _run(_crash_recover_config(seed=7))
+        verdict = check_recovery(cluster)
+        assert verdict.name == RECOVERY
+        assert verdict.ok, verdict.detail
+
+    def test_sync_hotstuff_rejoins_too(self):
+        cluster = _run(_crash_recover_config(protocol="sync-hotstuff", f=1, rate=300.0))
+        joiner = cluster.replicas[1]
+        assert joiner.recovery.caught_up_at is not None
+        assert check_safety(cluster.replicas, cluster.honest_ids | {1})
+        lag = max(
+            r.ledger.height
+            for r in cluster.replicas
+            if r.replica_id in cluster.honest_ids
+        ) - joiner.ledger.height
+        assert lag <= 3
+
+
+@pytest.mark.parametrize(
+    "seed,t_down,t_up",
+    [(3, 0.8, 2.2), (5, 1.5, 2.5), (9, 2.0, 4.0)],
+)
+def test_no_double_vote_across_restart(seed, t_down, t_up):
+    """Property: restart never contradicts a journaled pre-crash vote."""
+    cluster = _run(
+        _crash_recover_config(
+            seed=seed, f=1, t_down=t_down, t_up=t_up, duration=t_up + 2.0, rate=300.0
+        )
+    )
+    joiner = cluster.replicas[1]
+    voted = {}
+    for record in joiner.wal.replay():
+        if not isinstance(record, Vote):
+            continue
+        key = (record.epoch, record.height)
+        assert voted.setdefault(key, record.block_hash) == record.block_hash, (
+            f"double vote at {key}"
+        )
+    assert check_safety(cluster.replicas, cluster.honest_ids | {1})
+    assert check_recovery(cluster).ok
+
+
+# ---------------------------------------------------------------------------
+# Byzantine catchup providers
+# ---------------------------------------------------------------------------
+
+
+class TestByzantineProviders:
+    def test_withholding_provider_is_rotated_past(self):
+        """One provider silently withholds snapshots/ranges: catchup must
+        retry onto an alternate provider and still complete."""
+        config = _crash_recover_config(seed=11)
+        cluster = build_cluster(config)
+        cluster.network.add_filter(
+            lambda src, dst, msg, size: not (
+                src == 0
+                and isinstance(msg, (SnapshotResponseMsg, BlockRangeResponseMsg))
+            )
+        )
+        cluster.start()
+        cluster.run()
+        joiner = cluster.replicas[1]
+        manager = joiner.recovery
+        assert manager.caught_up_at is not None
+        assert manager.fetch_retries >= 1
+        assert check_recovery(cluster).ok
+
+    def test_total_withholding_is_reported_as_stall(self):
+        """Negative control: when *every* catchup response is withheld the
+        harness must report the stall, not silently pass."""
+        config = _crash_recover_config(seed=11)
+        cluster = build_cluster(config)
+        cluster.network.add_filter(
+            lambda src, dst, msg, size: not (
+                dst == 1
+                and isinstance(
+                    msg,
+                    (StatusResponseMsg, SnapshotResponseMsg, BlockRangeResponseMsg),
+                )
+            )
+        )
+        cluster.start()
+        cluster.run()
+        manager = cluster.replicas[1].recovery
+        assert manager.caught_up_at is None
+        assert manager.fetch_retries > 0
+        verdict = check_recovery(cluster)
+        assert not verdict.ok
+        assert "stalled" in verdict.detail
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints and pruning in steady state
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpoints:
+    def test_steady_state_checkpointing_prunes_stores(self):
+        config = make_config(
+            "alterbft", f=1, rate=400.0, duration=4.0, seed=5, checkpoint_interval=3
+        )
+        cluster = _run(config)
+        assert check_safety(cluster.replicas, cluster.honest_ids)
+        for replica in cluster.replicas:
+            manager = replica.recovery
+            assert manager is not None
+            cert = manager.latest_cert
+            assert cert is not None and cert.height > 0
+            assert cert.height % 3 == 0
+            # The store was pruned: nothing survives below the bound the
+            # manager applied (its checkpoint capped by its own head).
+            bound = min(cert.height, replica.ledger.height)
+            floor = min(h.height for h in replica.store._headers.values())
+            assert floor >= bound
+            assert not replica.store.has_header(replica.store.genesis.block_hash)
+
+    def test_checkpoint_certificates_verify(self):
+        config = make_config(
+            "alterbft", f=1, rate=400.0, duration=3.0, seed=5, checkpoint_interval=4
+        )
+        cluster = _run(config)
+        replica = cluster.replicas[0]
+        cert = replica.recovery.latest_cert
+        assert cert is not None
+        assert cert.verify(replica.signer, quorum=config.protocol_config.f + 1)
+        assert cert.state_digest == replica.ledger.state_digest(cert.height)
+
+
+# ---------------------------------------------------------------------------
+# Observational inertness
+# ---------------------------------------------------------------------------
+
+
+def test_recovery_attachments_are_observationally_inert():
+    """A WAL plus an idle RecoveryManager (checkpointing off) on every
+    replica must not perturb the golden seeded run by a single byte."""
+    from repro.recovery import RecoveryManager
+    from tests.test_perf_hotpath import GOLDEN_FINGERPRINT
+
+    cfg = make_config("alterbft", f=1, rate=500.0, duration=1.5, seed=7)
+    cluster = build_cluster(cfg)
+    for replica in cluster.replicas:
+        replica.wal = MemoryWal()
+        replica.recovery = RecoveryManager(replica, 0)
+    cluster.start()
+    cluster.run()
+    ledger = b"".join(
+        h
+        for replica in cluster.replicas
+        if replica.replica_id in cluster.honest_ids
+        for h in replica.ledger.all_hashes()
+    )
+    assert cluster.trace.fingerprint(extra=ledger) == GOLDEN_FINGERPRINT
+    # The WAL did its job silently: votes were journaled all along.
+    assert all(len(r.wal) > 0 for r in cluster.replicas)
