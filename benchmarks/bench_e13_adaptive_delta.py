@@ -1,0 +1,24 @@
+"""E13 — adaptive Δ under synchrony violation (the synchrony guard).
+
+Shape: with the guard off, every commit inside the violation window is
+silent; with it on, silent commits drop to zero — in-window commits are
+flagged at-risk until f+1 replicas certify a larger Δ, the ladder
+shrinks back after the link heals, and post-window throughput recovers.
+"""
+
+from repro.bench import e13_adaptive_delta
+
+
+def test_e13_adaptive_delta(run_output):
+    output = run_output(e13_adaptive_delta)
+    assert output.headline["all_safe"]
+    assert output.headline["alterbft_silent_unguarded"] > 0
+    assert output.headline["alterbft_silent_guarded"] == 0
+    for row in output.rows:
+        if row["guard"] == "on":
+            assert row["installs"] >= 2, row  # up the ladder, then back down
+            assert row["at_risk"] > 0, row
+            assert row["final_rung"] == 0, row
+            assert float(row["post_vs_pre_tput"]) > 0.5, row
+        else:
+            assert row["installs"] == 0 and row["at_risk"] == 0, row

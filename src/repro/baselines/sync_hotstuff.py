@@ -33,7 +33,11 @@ from ..types.messages import (
     BlockRangeRequestMsg,
     BlockRangeResponseMsg,
     CheckpointVoteMsg,
+    DeltaAdjustCertMsg,
+    DeltaAdjustMsg,
     EquivocationProofMsg,
+    GuardProbeEchoMsg,
+    GuardProbeMsg,
     PayloadRequestMsg,
     PayloadResponseMsg,
     ProposalHeaderMsg,
@@ -68,6 +72,10 @@ class SyncHotStuffReplica(AlterBFTReplica):
         SnapshotResponseMsg: "on_snapshot_response",
         BlockRangeRequestMsg: "on_block_range_request",
         BlockRangeResponseMsg: "on_block_range_response",
+        GuardProbeMsg: "on_guard_probe",
+        GuardProbeEchoMsg: "on_guard_probe_echo",
+        DeltaAdjustMsg: "on_delta_adjust",
+        DeltaAdjustCertMsg: "on_delta_adjust_cert",
     }
 
     def __init__(self, *args, **kwargs) -> None:

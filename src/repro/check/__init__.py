@@ -10,11 +10,15 @@ from .invariants import (
     AGREEMENT,
     BOUNDED_GAP,
     CERTIFIED_CHAIN,
+    GUARD_FLAGGING,
+    RECOVERY,
     InvariantResult,
     check_agreement,
     check_all,
     check_bounded_gap,
     check_certified_chain,
+    check_guard_flagging,
+    check_recovery,
     violations,
 )
 from .runner import ScenarioResult, main, run_demo, run_scenario, run_sweep
@@ -35,6 +39,8 @@ __all__ = [
     "BEHAVIORS",
     "BOUNDED_GAP",
     "CERTIFIED_CHAIN",
+    "GUARD_FLAGGING",
+    "RECOVERY",
     "InvariantResult",
     "ModelBoundedAdversary",
     "PROFILES",
@@ -46,6 +52,8 @@ __all__ = [
     "check_all",
     "check_bounded_gap",
     "check_certified_chain",
+    "check_guard_flagging",
+    "check_recovery",
     "default_grid",
     "e10_demo_scenario",
     "install_adversary",

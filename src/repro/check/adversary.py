@@ -164,5 +164,11 @@ def install_adversary(cluster: "Cluster", profile: str) -> ModelBoundedAdversary
     adversary = ModelBoundedAdversary(
         profile, cluster.config.network_config, cluster.scheduler, rng
     )
-    cluster.network.set_delay_policy(adversary.policy())
+    policy = adversary.policy()
+    if policy is not None:
+        # Prepend: the adversary *is* the base network model for the run,
+        # so gray-failure inflations installed at cluster-build time (e.g.
+        # the slow-link behavior) must post-process its output, not be
+        # overwritten by it.
+        cluster.network.add_delay_policy(policy, prepend=True)
     return adversary

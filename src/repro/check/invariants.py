@@ -16,6 +16,10 @@ invariants are the correctness claims the repository exists to test:
 * **recovery** — every replica that crashed and restarted caught back up
   to a prefix of the honest ledger without ever contradicting a vote it
   journaled before the crash.
+* **guard-flagging** — while an adversary violates the small-message
+  bound, no honest replica commits *silently*: every in-window commit is
+  either flagged at-risk or covered by a re-certified Δ large enough for
+  the inflated delays (slow-link scenarios only).
 
 Checkers never mutate the cluster; they can run repeatedly and in any
 order.  A violation is reported as data, not an exception — the sweep
@@ -25,7 +29,7 @@ runner (:mod:`repro.check.runner`) aggregates them across scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
 
 from ..crypto.hashing import short_hex
 from ..types.certificates import QuorumCertificate, Vote
@@ -38,6 +42,7 @@ AGREEMENT = "agreement"
 CERTIFIED_CHAIN = "certified-chain"
 BOUNDED_GAP = "bounded-gap"
 RECOVERY = "recovery"
+GUARD_FLAGGING = "guard-flagging"
 
 
 @dataclass(frozen=True)
@@ -223,6 +228,65 @@ def check_recovery(cluster: "Cluster") -> InvariantResult:
                         f"epoch {vote.epoch} height {vote.height}",
                     )
     return InvariantResult(RECOVERY, True)
+
+
+def check_guard_flagging(
+    cluster: "Cluster",
+    violation_window: Tuple[float, float],
+    grace: float,
+    safe_factor: float = 3.0,
+) -> InvariantResult:
+    """No unflagged commit while the small-message bound is violated.
+
+    The degradation contract of :mod:`repro.guard`: once the adversary
+    has been inflating a link past Δ for at least ``grace`` seconds,
+    every block an honest replica commits inside the violation window
+    must carry the at-risk flag — *unless* the cluster has certified a
+    replacement Δ of at least ``safe_factor`` × the original bound, in
+    which case the inflated delays are inside the model again and the
+    commit is legitimately clean.
+
+    The check is per honest replica against its own monitor's commit
+    records and Δ timeline; a non-vacuity detail reports how many
+    in-window commits were actually examined.
+    """
+    t1, t2 = violation_window
+    start = t1 + grace
+    honest = [r for r in cluster.replicas if r.replica_id in cluster.honest_ids]
+    guarded = [(r, r.guard) for r in honest if r.guard is not None]
+    if not guarded:
+        return InvariantResult(
+            GUARD_FLAGGING, False, "no synchrony monitors attached to honest replicas"
+        )
+    examined = 0
+    for replica, guard in guarded:
+        base_delta = guard.delta_history[0][1]
+        for record in guard.commit_records:
+            if not start <= record.time < t2:
+                continue
+            examined += 1
+            if record.flagged:
+                continue
+            installed = guard.delta_at(record.time)
+            if installed >= safe_factor * base_delta:
+                continue
+            return InvariantResult(
+                GUARD_FLAGGING,
+                False,
+                f"replica {replica.replica_id}: silent commit at height "
+                f"{record.height} (t={record.time:.3f}s) during the violation "
+                f"window with effective Δ={installed * 1e3:.1f}ms < "
+                f"{safe_factor:g}x base",
+            )
+    if examined == 0:
+        return InvariantResult(
+            GUARD_FLAGGING,
+            True,
+            "no in-window commits to examine (vacuously satisfied)",
+        )
+    return InvariantResult(
+        GUARD_FLAGGING, True, f"{examined} in-window commits flagged or re-certified"
+    )
 
 
 def check_all(

@@ -1,6 +1,6 @@
 """Seed-sweep runner: execute scenarios, check invariants, report.
 
-``python -m repro.check`` runs the default grid (252 scenarios across
+``python -m repro.check`` runs the default grid (294 scenarios across
 {AlterBFT, Sync HotStuff} × {fault behaviors} × {adversary profiles} ×
 seeds), expecting **zero** invariant violations, then demonstrates that
 the harness detects real violations by re-running the E10 relay-off
@@ -24,11 +24,21 @@ from ..errors import ConfigError
 from ..runner.cluster import build_cluster
 from ..runner.registry import protocol_names
 from .adversary import PROFILES, install_adversary
-from .invariants import AGREEMENT, InvariantResult, check_all, violations
+from .invariants import (
+    AGREEMENT,
+    InvariantResult,
+    check_all,
+    check_guard_flagging,
+    violations,
+)
 from .scenarios import (
     BEHAVIORS,
+    GUARD_GRACE,
+    GUARD_SAFE_FACTOR,
     PROTOCOLS,
     RECOVERY_TIME,
+    SLOWLINK_END,
+    SLOWLINK_START,
     Scenario,
     build_config,
     default_grid,
@@ -72,7 +82,20 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     install_adversary(cluster, scenario.profile)
     cluster.start()
     cluster.run()
-    if scenario.relay_headers:
+    if scenario.behavior == "slow-link":
+        # The gray failure legitimately slows commits (Δ escalation scales
+        # every timer), so bounded-gap does not apply; what must hold
+        # instead is the degradation contract: no silent in-window commit.
+        results = check_all(cluster)
+        results.append(
+            check_guard_flagging(
+                cluster,
+                violation_window=(SLOWLINK_START, SLOWLINK_END),
+                grace=GUARD_GRACE,
+                safe_factor=GUARD_SAFE_FACTOR,
+            )
+        )
+    elif scenario.relay_headers:
         results = check_all(
             cluster,
             recovery_time=RECOVERY_TIME,
@@ -146,7 +169,7 @@ def _print_report(results: Sequence[ScenarioResult]) -> int:
     verdict = "PASS" if not failed else "FAIL"
     print(
         f"\n{verdict}: {len(results) - len(failed)}/{len(results)} scenarios satisfied "
-        "agreement, certified-chain, bounded-gap, and recovery invariants"
+        "agreement, certified-chain, bounded-gap, recovery, and guard-flagging invariants"
     )
     return len(failed)
 
@@ -172,7 +195,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Sweep seeded fault/adversary scenarios and check consensus invariants.",
     )
     parser.add_argument(
-        "--seeds", type=int, default=7, help="seeds per combo (default 7 → 252 scenarios)"
+        "--seeds", type=int, default=7, help="seeds per combo (default 7 → 294 scenarios)"
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     parser.add_argument(

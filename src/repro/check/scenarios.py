@@ -30,7 +30,15 @@ from .adversary import PROFILES
 PROTOCOLS = ("alterbft", "sync-hotstuff")
 
 #: Fault behaviors in the default sweep ("none" = fault-free control).
-BEHAVIORS = ("none", "crash", "crash-recover", "equivocate", "withhold_payload", "delay_send")
+BEHAVIORS = (
+    "none",
+    "crash",
+    "crash-recover",
+    "equivocate",
+    "withhold_payload",
+    "delay_send",
+    "slow-link",
+)
 
 #: The single Byzantine/faulty replica.  Replica 1 leads epoch 1 under
 #: round-robin rotation, so faulty-leader paths trigger immediately.
@@ -52,6 +60,32 @@ CHECKPOINT_K = 4
 #: Liveness is only asserted after this instant: late enough for the
 #: crash, the stall-large window, and initial epoch churn to play out.
 RECOVERY_TIME = 2.0
+
+#: The slow-link gray-failure window, simulated seconds.  Starts after
+#: warmup (so the guard's rolling tail is populated with honest samples)
+#: and ends well before the horizon (so the sweep observes the cluster
+#: stabilizing on the re-certified Δ).
+SLOWLINK_START = 1.5
+SLOWLINK_END = 3.0
+
+#: Detection slack for the guard-flagging invariant: how long after the
+#: violation begins before an unflagged commit counts against the guard.
+#: Covers one probe round-trip plus several Δ of commit pipeline — far
+#: more than the monitor actually needs (the retro-flagging window soaks
+#: up most of the lag), but the invariant should fail on missing
+#: *machinery*, not on scheduling jitter.
+GUARD_GRACE = 0.1
+
+#: An unflagged in-window commit is excused only when the effective Δ at
+#: commit time covers the worst inflation the slow link applies
+#: (:data:`repro.faults.behaviors.SLOW_LINK_FACTOR_HIGH` × base Δ) — i.e.
+#: the cluster genuinely re-certified its way out of the violation.
+GUARD_SAFE_FACTOR = 3.0
+
+#: Probe cadence override for slow-link scenarios: fast enough that the
+#: faulty replica's (inflated) probe traffic alone sustains detection
+#: even while consensus traffic from it is sparse.
+GUARD_PROBE_INTERVAL = 0.02
 
 #: Default simulated horizon per scenario, seconds.
 DEFAULT_DURATION = 6.0
@@ -147,6 +181,11 @@ def build_config(scenario: Scenario) -> ExperimentConfig:
     elif scenario.behavior == "crash-recover":
         faults = ((FAULTY_ID, f"crash-recover@{CRASH_TIME}:{REJOIN_TIME}"),)
         pconf = pconf.with_(checkpoint_interval=CHECKPOINT_K)
+    elif scenario.behavior == "slow-link":
+        faults = ((FAULTY_ID, f"slow-link@{SLOWLINK_START}:{SLOWLINK_END}"),)
+        pconf = pconf.with_(
+            guard_enabled=True, guard_probe_interval=GUARD_PROBE_INTERVAL
+        )
     else:
         faults = ((FAULTY_ID, scenario.behavior),)
     return ExperimentConfig(
@@ -193,7 +232,7 @@ def default_grid(
 ) -> List[Scenario]:
     """The sweep grid, seed-major within each combo.
 
-    The defaults give 2 × 6 × 3 × 7 = 252 scenarios, clearing the
+    The defaults give 2 × 7 × 3 × 7 = 294 scenarios, clearing the
     200-scenario acceptance floor.
     """
     grid = []

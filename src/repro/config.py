@@ -65,6 +65,32 @@ class ProtocolConfig:
         catchup_retry: per-provider timeout before a catching-up replica
             re-requests a snapshot/block range from an alternate
             provider (Byzantine providers must not stall catchup).
+        guard_enabled: attach a :class:`repro.guard.SynchronyMonitor` to
+            every replica — runtime Δ-violation detection from observed
+            small-message delays plus signed probe traffic, adaptive Δ
+            re-calibration via f+1 ``DeltaAdjust`` certificates installed
+            at epoch boundaries, and at-risk flagging of commits made
+            while a violation is suspected.  False (the default) is
+            observationally inert: no probes, no timers, no extra
+            messages, byte-identical seeded traces.
+        guard_probe_interval: period of the signed probe broadcast that
+            keeps the delay estimate fresh when consensus traffic is
+            sparse, seconds.
+        guard_window: number of recent small-message delay samples kept
+            in the rolling tail estimator.
+        guard_violation_threshold: violations observed within the recent
+            window before a suspicion is considered *sustained* and an
+            upward ``DeltaAdjust`` is proposed.
+        guard_quantile: tail percentile of the rolling window used when
+            recommending a re-calibrated Δ (mirrors
+            ``measure.calibration``).
+        guard_margin: safety margin multiplied onto the tail estimate
+            when recommending a re-calibrated Δ (>= 1).
+        guard_max_rung: cap on the Δ ladder — the effective Δ is
+            ``delta * 2**rung`` with ``0 <= rung <= guard_max_rung``.
+        guard_stable_window: seconds without a single violation before
+            the suspicion clears and a *shrink* back down the ladder may
+            be proposed.
     """
 
     n: int
@@ -81,6 +107,14 @@ class ProtocolConfig:
     signature_scheme: str = "hashsig"
     checkpoint_interval: int = 0
     catchup_retry: float = 0.25
+    guard_enabled: bool = False
+    guard_probe_interval: float = 0.05
+    guard_window: int = 64
+    guard_violation_threshold: int = 3
+    guard_quantile: float = 99.0
+    guard_margin: float = 1.25
+    guard_max_rung: int = 4
+    guard_stable_window: float = 1.0
 
     def validate(self, quorum_style: str = "2f+1") -> None:
         """Check internal consistency for a given resilience style.
@@ -110,6 +144,16 @@ class ProtocolConfig:
         )
         _require(self.checkpoint_interval >= 0, "checkpoint_interval must be >= 0")
         _require(self.catchup_retry > 0, "catchup_retry must be positive")
+        _require(self.guard_probe_interval > 0, "guard_probe_interval must be positive")
+        _require(self.guard_window >= 8, "guard_window must be >= 8 samples")
+        _require(
+            self.guard_violation_threshold >= 1,
+            "guard_violation_threshold must be >= 1",
+        )
+        _require(50.0 <= self.guard_quantile <= 100.0, "guard_quantile in [50, 100]")
+        _require(self.guard_margin >= 1.0, "guard_margin must be >= 1")
+        _require(1 <= self.guard_max_rung <= 16, "guard_max_rung in [1, 16]")
+        _require(self.guard_stable_window > 0, "guard_stable_window must be positive")
 
     @property
     def quorum_2f1(self) -> int:

@@ -31,6 +31,11 @@ class Ledger:
         # h covers blocks[0..h].  Extended on demand so runs that never
         # checkpoint pay nothing.
         self._digests: List[Digest] = [self._blocks[0].block_hash]
+        # Heights committed while a synchrony violation was suspected
+        # (repro.guard).  An at-risk flag is an honesty label on the
+        # commit's safety argument, not a retraction: the block stays
+        # committed, the flag stays forever.
+        self._at_risk: set = set()
 
     def add_listener(self, listener: CommitListener) -> None:
         self._listeners.append(listener)
@@ -121,3 +126,22 @@ class Ledger:
 
     def all_hashes(self) -> List[Digest]:
         return [b.block_hash for b in self._blocks]
+
+    # -- at-risk flags (graceful degradation; see repro.guard) -------------
+
+    def flag_at_risk(self, height: int) -> None:
+        """Mark the commit at ``height`` as made under suspected Δ violation."""
+        if not 0 < height < len(self._blocks):
+            raise LedgerError(f"cannot flag uncommitted height {height}")
+        self._at_risk.add(height)
+
+    def is_at_risk(self, height: int) -> bool:
+        return height in self._at_risk
+
+    def at_risk_heights(self) -> List[int]:
+        """Flagged heights in ascending order."""
+        return sorted(self._at_risk)
+
+    @property
+    def at_risk_count(self) -> int:
+        return len(self._at_risk)

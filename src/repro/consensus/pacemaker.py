@@ -27,12 +27,19 @@ class Pacemaker:
         growth: float,
         on_timeout: TimeoutCallback,
         adaptive: bool = True,
+        timeout_scale: Optional[Callable[[], float]] = None,
     ) -> None:
         self.ctx = ctx
         self.base_timeout = base_timeout
         self.growth = growth
         self.on_timeout = on_timeout
         self.adaptive = adaptive
+        #: Optional multiplicative scale sampled at every (re)arm — the
+        #: synchrony guard hooks this so a re-calibrated Δ stretches the
+        #: progress timeout proportionally (the base timeout was
+        #: provisioned as a multiple of the original Δ).  None (default)
+        #: keeps the timeout computation untouched.
+        self.timeout_scale = timeout_scale
         self.epoch = 0
         self.consecutive_failures = 0
         self._timer: Optional[TimerHandle] = None
@@ -40,9 +47,10 @@ class Pacemaker:
 
     def current_timeout(self) -> float:
         """The timeout in force, after back-off."""
+        scale = 1.0 if self.timeout_scale is None else self.timeout_scale()
         if not self.adaptive:
-            return self.base_timeout
-        return self.base_timeout * (self.growth**self.consecutive_failures)
+            return self.base_timeout * scale
+        return self.base_timeout * (self.growth**self.consecutive_failures) * scale
 
     def enter_epoch(self, epoch: int, made_progress: bool) -> None:
         """Move to a new epoch and (re)arm the progress timer.

@@ -52,6 +52,12 @@ class BaseReplica:
     wal: Optional[object] = None
     recovery: Optional["RecoveryManager"] = None
 
+    #: Synchrony guard (set by the cluster builder when
+    #: ``ProtocolConfig.guard_enabled``).  ``None`` keeps every
+    #: measurement/flagging site a single attribute test — the disabled
+    #: path is observationally inert.
+    guard: Optional["SynchronyMonitor"] = None
+
     def __init__(
         self,
         replica_id: int,
@@ -277,4 +283,6 @@ class BaseReplica:
                 )
         if self.recovery is not None:
             self.recovery.on_committed(blocks)
+        if self.guard is not None:
+            self.guard.on_committed(blocks)
         return blocks

@@ -88,7 +88,11 @@ from ..types.messages import (
     BlockRequestMsg,
     BlockResponseMsg,
     CheckpointVoteMsg,
+    DeltaAdjustCertMsg,
+    DeltaAdjustMsg,
     EquivocationProofMsg,
+    GuardProbeEchoMsg,
+    GuardProbeMsg,
     PayloadMsg,
     PayloadRequestMsg,
     PayloadResponseMsg,
@@ -134,6 +138,10 @@ class AlterBFTReplica(BaseReplica):
         SnapshotResponseMsg: "on_snapshot_response",
         BlockRangeRequestMsg: "on_block_range_request",
         BlockRangeResponseMsg: "on_block_range_response",
+        GuardProbeMsg: "on_guard_probe",
+        GuardProbeEchoMsg: "on_guard_probe_echo",
+        DeltaAdjustMsg: "on_delta_adjust",
+        DeltaAdjustCertMsg: "on_delta_adjust_cert",
     }
 
     def __init__(
@@ -208,10 +216,19 @@ class AlterBFTReplica(BaseReplica):
             base_timeout=self.config.epoch_timeout,
             growth=self.config.epoch_timeout_growth,
             on_timeout=self._on_epoch_timeout,
+            timeout_scale=self.guard.timeout_scale if self.guard is not None else None,
         )
         self.pacemaker.enter_epoch(self.epoch, made_progress=True)
+        if self.guard is not None:
+            self.guard.on_start()
         if self.is_leader(self.epoch):
             self._propose_block()
+
+    def _delta(self) -> float:
+        """The synchrony bound in force: the guard's re-calibrated Δ when
+        one is attached, the static configured Δ otherwise."""
+        guard = self.guard
+        return self.config.delta if guard is None else guard.effective_delta
 
     def _timer_pacemaker(self, payload: Any) -> None:
         assert self.pacemaker is not None
@@ -342,7 +359,7 @@ class AlterBFTReplica(BaseReplica):
             # Arm payload repair in case the leader withholds the payload.
             assert self.ctx is not None
             self.ctx.set_timer(
-                2 * self.config.delta + 0.25 * self.config.epoch_timeout,
+                2 * self._delta() + 0.25 * self.config.epoch_timeout,
                 "payload_fetch",
                 header.block_hash,
             )
@@ -536,7 +553,7 @@ class AlterBFTReplica(BaseReplica):
         self.broadcast(VoteMsg(vote=vote))
         # Open the 2Δ equivocation-detection window.
         assert self.ctx is not None
-        self.ctx.set_timer(2 * self.config.delta, "commit_wait", (header.epoch, header.block_hash))
+        self.ctx.set_timer(2 * self._delta(), "commit_wait", (header.epoch, header.block_hash))
         return True
 
     def _next_votable(
@@ -816,7 +833,7 @@ class AlterBFTReplica(BaseReplica):
             self.pacemaker.stop()
         # Quit wait: Δ for in-flight epoch votes to land everywhere.
         assert self.ctx is not None
-        self.ctx.set_timer(self.config.delta, "enter_epoch", cert.epoch + 1)
+        self.ctx.set_timer(self._delta(), "enter_epoch", cert.epoch + 1)
 
     def _timer_enter_epoch(self, new_epoch: int) -> None:
         if new_epoch <= self.epoch or self.state == RECOVERING:
@@ -824,6 +841,10 @@ class AlterBFTReplica(BaseReplica):
         self.epoch = new_epoch
         self.state = ACTIVE
         self.obs_event(EVENT_EPOCH_ENTER, epoch=new_epoch)
+        if self.guard is not None:
+            # Atomic Δ switch: a certified adjustment takes effect here,
+            # before this epoch's timers (pacemaker, leader wait) are set.
+            self.guard.on_epoch_enter(new_epoch)
         self._entry_rank = self.high_qc.rank
         if self.wal is not None:
             self.wal.append(
@@ -843,7 +864,7 @@ class AlterBFTReplica(BaseReplica):
         if leader == self.replica_id:
             # Give peers Δ to report their certificates before proposing.
             assert self.ctx is not None
-            self.ctx.set_timer(self.config.delta, "new_epoch_propose", new_epoch)
+            self.ctx.set_timer(self._delta(), "new_epoch_propose", new_epoch)
         else:
             self.send(leader, status)
         # Replay proposals that arrived early for this epoch.
@@ -905,6 +926,33 @@ class AlterBFTReplica(BaseReplica):
         if self.recovery is not None:
             self.recovery.on_retry(payload)
 
+    # ------------------------------------------------------------------
+    # Synchrony guard (see repro.guard)
+    #
+    # Inert unless the cluster builder attached a SynchronyMonitor —
+    # every entry point is a single None test.
+    # ------------------------------------------------------------------
+
+    def on_guard_probe(self, src: int, msg: GuardProbeMsg) -> None:
+        if self.guard is not None:
+            self.guard.on_guard_probe(src, msg)
+
+    def on_guard_probe_echo(self, src: int, msg: GuardProbeEchoMsg) -> None:
+        if self.guard is not None:
+            self.guard.on_guard_probe_echo(src, msg)
+
+    def on_delta_adjust(self, src: int, msg: DeltaAdjustMsg) -> None:
+        if self.guard is not None:
+            self.guard.on_delta_adjust(src, msg)
+
+    def on_delta_adjust_cert(self, src: int, msg: DeltaAdjustCertMsg) -> None:
+        if self.guard is not None:
+            self.guard.on_delta_adjust_cert(src, msg)
+
+    def _timer_guard_probe(self, payload: Any) -> None:
+        if self.guard is not None:
+            self.guard.on_probe_timer()
+
     def drop_block_indexes(self, removed: List[Digest]) -> None:
         """Forget per-block indexes for checkpoint-pruned blocks."""
         removed_set = set(removed)
@@ -942,6 +990,7 @@ class AlterBFTReplica(BaseReplica):
             base_timeout=self.config.epoch_timeout,
             growth=self.config.epoch_timeout_growth,
             on_timeout=self._on_epoch_timeout,
+            timeout_scale=self.guard.timeout_scale if self.guard is not None else None,
         )
         self.state = RECOVERING
         replayed = self._replay_wal()
@@ -989,6 +1038,8 @@ class AlterBFTReplica(BaseReplica):
         """Re-enter steady state at ``join_epoch`` after catchup."""
         self.epoch = max(self.epoch, join_epoch)
         self.state = ACTIVE
+        if self.guard is not None:
+            self.guard.on_epoch_enter(self.epoch)
         self._entry_rank = self.high_qc.rank
         self._proposed_in_epoch = True
         self._awaiting_qc = None

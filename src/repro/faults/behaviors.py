@@ -29,10 +29,17 @@ Available behaviors:
   change views).
 * ``delay_send`` — sends every message as late as the small-message bound
   allows (the strongest *model-respecting* timing adversary).
+* ``slow-link@t1:t2`` — gray failure: during ``[t1, t2)`` the replica's
+  *outbound small messages* take 1.5–3× the configured Δ, silently
+  violating the synchrony bound the protocol's safety argument assumes.
+  The replica itself stays honest and live — only its uplink degrades —
+  which is exactly the failure mode the synchrony guard
+  (:mod:`repro.guard`) exists to detect.  Requires the ``t1:t2`` range.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Dict, Optional, Tuple
 
 from ..baselines.hotstuff import HotStuffReplica
@@ -123,6 +130,12 @@ def apply_behavior(
             _apply_withhold_payload(replica)
     elif name == "delay_send":
         _apply_delay_send(replica, scheduler)
+    elif name == "slow-link":
+        if not isinstance(when, tuple):
+            raise ConfigError(
+                f"slow-link needs a t1:t2 range, e.g. slow-link@1.5:3.0: {spec!r}"
+            )
+        _apply_slow_link(replica, network, scheduler, when)
     else:
         raise ConfigError(f"unknown fault behavior {name!r}")
 
@@ -502,3 +515,49 @@ def _apply_delay_send(replica: BaseReplica, scheduler: Scheduler) -> None:
         original_bind(_DelayedContext(ctx))
 
     replica.bind = bind  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------------
+# Gray failure: slow link
+# ----------------------------------------------------------------------
+
+#: Outbound small-message inflation range, as multiples of the configured
+#: Δ.  The low end (1.5Δ) is an unambiguous violation; the high end (3Δ)
+#: keeps the degradation within one or two rungs of the guard's Δ ladder.
+SLOW_LINK_FACTOR_LOW = 1.5
+SLOW_LINK_FACTOR_HIGH = 3.0
+
+
+def _apply_slow_link(
+    replica: BaseReplica,
+    network: SimNetwork,
+    scheduler: Scheduler,
+    window: Tuple[float, float],
+) -> None:
+    """Inflate the replica's outbound small-message delays past Δ.
+
+    Implemented as a network delay *policy* so the inflation composes
+    with — rather than replaces — whatever base delay model or
+    adversarial scheduler the run installed (policies chain; see
+    :data:`repro.net.simnet.DelayPolicy`).  The policy draws from a
+    private RNG so installing the behavior never perturbs the delay
+    model's own RNG stream.
+    """
+    t1, t2 = window
+    target = replica.replica_id
+    delta = replica.config.delta
+    threshold = network.priority_threshold
+    rng = random.Random(0xC0FFEE ^ target)
+
+    def inflate(
+        src: int, dst: int, msg: object, size: int, delay: Optional[float]
+    ) -> Optional[float]:
+        if delay is None:  # pragma: no cover - upstream policy already dropped
+            return None
+        if src != target or (threshold and size > threshold):
+            return delay
+        if not t1 <= scheduler.now < t2:
+            return delay
+        return max(delay, delta * rng.uniform(SLOW_LINK_FACTOR_LOW, SLOW_LINK_FACTOR_HIGH))
+
+    network.add_delay_policy(inflate)

@@ -38,6 +38,22 @@ class CalibrationReport:
         )
 
 
+def recommend_delta(
+    samples: Sequence[float],
+    tail_percentile: float = 99.0,
+    safety_margin: float = 1.25,
+) -> float:
+    """The Δ a deployment should provision given observed small delays.
+
+    The online single-class counterpart of :func:`calibrate`'s
+    ``delta_small`` derivation, used by the synchrony guard when it
+    re-calibrates at runtime: margin times the observed tail.
+    """
+    if not samples:
+        raise ValueError("need at least one sample to recommend a delta")
+    return safety_margin * percentile(samples, min(tail_percentile, 100.0))
+
+
 def calibrate(
     samples_by_size: Dict[int, List[float]],
     small_threshold: int,

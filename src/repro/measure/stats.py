@@ -9,8 +9,9 @@ implemented here so the core library has no hard numpy dependency.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -84,6 +85,52 @@ class LatencySummary:
             "p99.9_ms": self.p999 * 1e3,
             "max_ms": self.max * 1e3,
         }
+
+
+class RollingTail:
+    """Sliding-window tail-quantile estimator over a sample stream.
+
+    Keeps the last ``window`` samples and answers tail-percentile queries
+    over them — the online counterpart of the offline
+    :func:`percentile` used by calibration.  O(window log window) per
+    estimate, which at guard window sizes (tens of samples) is cheaper
+    than maintaining an order-statistics structure.
+    """
+
+    def __init__(self, window: int, quantile: float) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0 <= quantile <= 100:
+            raise ValueError(f"quantile {quantile} out of range")
+        self.window = window
+        self.quantile = quantile
+        self._samples: deque = deque(maxlen=window)
+
+    def add(self, value: float) -> None:
+        self._samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> tuple:
+        """The current window contents, oldest first."""
+        return tuple(self._samples)
+
+    @property
+    def full(self) -> bool:
+        return len(self._samples) == self.window
+
+    def estimate(self) -> Optional[float]:
+        """Tail-quantile of the current window; None while empty."""
+        if not self._samples:
+            return None
+        return percentile(self._samples, self.quantile)
+
+    def maximum(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return max(self._samples)
 
 
 def cdf_points(samples: Sequence[float], points: int = 100) -> List[tuple]:

@@ -36,8 +36,17 @@ MessageFilter = Callable[[int, int, object, int], bool]
 #: The configured delay model is sampled first (so installing a policy never
 #: perturbs the RNG draws other components see); the policy may return the
 #: model's delay unchanged, substitute its own, or None to drop the message.
-#: This is the layering point for adversarial schedulers (repro.check).
+#: Policies compose as an ordered chain: each receives the delay produced by
+#: the previous one, and the first None drops the message.  This is the
+#: layering point for adversarial schedulers (repro.check) and gray-failure
+#: behaviors (repro.faults).
 DelayPolicy = Callable[[int, int, object, int, Optional[float]], Optional[float]]
+
+#: Delay-observer signature: observer(src, msg, size, latency).  Called at
+#: delivery time on the *receiving* node's behalf, with the one-way latency
+#: the message actually experienced (egress queueing plus network delay).
+#: This is the synchrony guard's measurement tap (repro.guard).
+DelayObserver = Callable[[int, object, int, float], None]
 
 #: Delay a node's loopback messages experience (scheduling, not network).
 LOOPBACK_DELAY = 1e-6
@@ -72,7 +81,8 @@ class SimNetwork:
         self._nodes_sorted: List[int] = []
         self._partition: Optional[Tuple[FrozenSet[int], ...]] = None
         self._filters: List[MessageFilter] = []
-        self._delay_policy: Optional[DelayPolicy] = None
+        self._delay_policies: List[DelayPolicy] = []
+        self._delay_observers: Dict[int, DelayObserver] = {}
         self._down: set = set()
         self._egress_free: Dict[int, float] = {}
 
@@ -102,8 +112,39 @@ class SimNetwork:
         self._filters.append(fn)
 
     def set_delay_policy(self, fn: Optional[DelayPolicy]) -> None:
-        """Install (or clear) a delay policy overriding the model's samples."""
-        self._delay_policy = fn
+        """Replace the whole delay-policy chain with ``fn`` (None clears)."""
+        self._delay_policies = [] if fn is None else [fn]
+
+    def add_delay_policy(self, fn: DelayPolicy, prepend: bool = False) -> None:
+        """Append (or prepend) a delay policy to the composition chain.
+
+        Policies run in chain order; each sees the delay the previous one
+        produced.  Prepending is for policies that model the *base*
+        network (adversarial schedulers), so that later-installed
+        gray-failure inflations post-process their output rather than
+        being overwritten.
+        """
+        if prepend:
+            self._delay_policies.insert(0, fn)
+        else:
+            self._delay_policies.append(fn)
+
+    @property
+    def delay_policies(self) -> Tuple[DelayPolicy, ...]:
+        """The installed delay-policy chain, in application order."""
+        return tuple(self._delay_policies)
+
+    def set_delay_observer(self, node_id: int, fn: Optional[DelayObserver]) -> None:
+        """Install (or clear) a delivery-latency observer for ``node_id``.
+
+        With no observer registered the send path schedules the exact
+        same deliveries as before — the hook is observationally inert
+        until someone (the synchrony guard) actually registers.
+        """
+        if fn is None:
+            self._delay_observers.pop(node_id, None)
+        else:
+            self._delay_observers[node_id] = fn
 
     def take_down(self, node_id: int) -> None:
         """Crash a node: it neither sends nor receives from now on."""
@@ -148,11 +189,14 @@ class SimNetwork:
                     self.trace.emit(scheduler.now, "msg_filtered", src, dst=dst)
                     return
         delay = self.delay_model.sample(self._rng, src, dst, size)
-        if self._delay_policy is not None:
-            delay = self._delay_policy(src, dst, msg, size, delay)
         if delay is None:
             self.trace.emit(scheduler.now, "msg_dropped", src, dst=dst)
             return
+        for policy in self._delay_policies:
+            delay = policy(src, dst, msg, size, delay)
+            if delay is None:
+                self.trace.emit(scheduler.now, "msg_dropped", src, dst=dst)
+                return
         departure = scheduler.now
         if self.egress_bandwidth and size > self.priority_threshold:
             # NIC egress serialization: copies of a broadcast queue behind
@@ -171,6 +215,17 @@ class SimNetwork:
                 size,
                 departure + delay - scheduler.now,
             )
+        if dst in self._delay_observers:
+            scheduler.post_at(
+                departure + delay,
+                self._deliver_observed,
+                src,
+                dst,
+                msg,
+                size,
+                departure + delay - scheduler.now,
+            )
+            return
         scheduler.post_at(departure + delay, self._deliver, src, dst, msg)
 
     def _crosses_partition(self, src: int, dst: int) -> bool:
@@ -188,3 +243,15 @@ class SimNetwork:
         if handler is None:
             raise SimulationError(f"message for unattached node {dst}")
         handler(src, msg)
+
+    def _deliver_observed(
+        self, src: int, dst: int, msg: object, size: int, latency: float
+    ) -> None:
+        if dst in self._down:
+            return
+        observer = self._delay_observers.get(dst)
+        if observer is not None:
+            # Measurement first: the sample must land even if the handler
+            # raises (a Byzantine message still demonstrates link delay).
+            observer(src, msg, size, latency)
+        self._deliver(src, dst, msg)

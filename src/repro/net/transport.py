@@ -16,8 +16,10 @@ socket in TLS with per-replica certificates.
 from __future__ import annotations
 
 import asyncio
+import random
 import struct
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..codec import decode, encode_cached
 from ..consensus.replica import BaseReplica
@@ -25,6 +27,36 @@ from ..errors import TransportError
 
 #: Maximum accepted frame size (defensive bound, 64 MiB).
 MAX_FRAME = 64 * 1024 * 1024
+
+#: First dial retry delay; doubles per attempt up to the cap.
+DIAL_BACKOFF_BASE = 0.05
+DIAL_BACKOFF_CAP = 2.0
+
+#: Frames buffered per disconnected peer before drop-oldest kicks in.
+#: Sized for a few epochs of consensus traffic — enough to bridge a
+#: restart, small enough that a long-dead peer cannot exhaust memory.
+OUTBOUND_QUEUE_LIMIT = 512
+
+
+def backoff_delay(
+    attempt: int,
+    base: float = DIAL_BACKOFF_BASE,
+    cap: float = DIAL_BACKOFF_CAP,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Capped exponential backoff with equal jitter.
+
+    Returns a delay drawn uniformly from ``[ceiling/2, ceiling]`` where
+    ``ceiling = min(cap, base * 2**attempt)`` — the jitter de-synchronizes
+    a cluster of replicas all redialing the same restarted peer.  Pure
+    given an ``rng``; falls back to the module-level generator otherwise.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be non-negative: {attempt}")
+    # Cap the exponent too: 2**attempt overflows float range fast.
+    ceiling = cap if attempt >= 64 else min(cap, base * (2 ** attempt))
+    draw = rng.random() if rng is not None else random.random()
+    return ceiling * (0.5 + 0.5 * draw)
 
 
 def encode_frame(msg: object) -> bytes:
@@ -78,13 +110,26 @@ class AsyncioContext:
 class AsyncReplicaNode:
     """Hosts one replica on real sockets.
 
+    A refused or late peer never fails startup: dialing runs in
+    background tasks with capped exponential backoff (:func:`backoff_delay`),
+    and frames sent to a disconnected peer are buffered in a bounded
+    per-peer queue (oldest dropped on overflow — consensus messages age
+    out; the protocol's timers resend what still matters) and flushed in
+    order once the connection lands.
+
     Args:
         replica: the (already constructed) replica instance.
         peers: replica id → (host, port) for every cluster member,
             including this one (its entry is the listen address).
+        outbound_limit: per-peer buffered-frame cap while disconnected.
     """
 
-    def __init__(self, replica: BaseReplica, peers: Dict[int, Tuple[str, int]]) -> None:
+    def __init__(
+        self,
+        replica: BaseReplica,
+        peers: Dict[int, Tuple[str, int]],
+        outbound_limit: int = OUTBOUND_QUEUE_LIMIT,
+    ) -> None:
         self.replica = replica
         self.peers = dict(peers)
         self.n = len(peers)
@@ -92,33 +137,65 @@ class AsyncReplicaNode:
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Dict[int, asyncio.StreamWriter] = {}
         self._reader_tasks: List[asyncio.Task] = []
+        self._dial_tasks: Dict[int, asyncio.Task] = {}
+        self._outbound: Dict[int, Deque[bytes]] = {}
+        self.outbound_limit = outbound_limit
+        #: Per-peer count of frames discarded by drop-oldest overflow.
+        self.dropped: Dict[int, int] = {}
         self._stopped = False
 
     # -- lifecycle ------------------------------------------------------------
 
     async def start(self) -> None:
-        """Listen, dial every peer, then start the protocol."""
+        """Listen, start dialing every peer, then start the protocol.
+
+        Does not wait for peers: unreachable ones keep being redialed in
+        the background while the protocol runs (their traffic queues).
+        """
         self.loop = asyncio.get_running_loop()
         host, port = self.peers[self.replica.replica_id]
         self._server = await asyncio.start_server(self._on_connection, host, port)
-        await self._dial_all()
+        for peer_id in self.peers:
+            if peer_id != self.replica.replica_id:
+                self._ensure_dialing(peer_id)
         self.replica.bind(AsyncioContext(self))
         self.replica.on_start()
 
-    async def _dial_all(self, retries: int = 40, retry_delay: float = 0.05) -> None:
-        for peer_id, (host, port) in self.peers.items():
-            if peer_id == self.replica.replica_id:
+    def _ensure_dialing(self, peer_id: int) -> None:
+        """Start a dial task for ``peer_id`` unless one is already running."""
+        task = self._dial_tasks.get(peer_id)
+        if task is not None and not task.done():
+            return
+        self._dial_tasks[peer_id] = self.loop.create_task(self._dial_loop(peer_id))
+
+    async def _dial_loop(self, peer_id: int) -> None:
+        host, port = self.peers[peer_id]
+        attempt = 0
+        while not self._stopped:
+            try:
+                _, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(("hello", self.replica.replica_id)))
+            except OSError:
+                await asyncio.sleep(backoff_delay(attempt))
+                attempt += 1
                 continue
-            for attempt in range(retries):
-                try:
-                    reader, writer = await asyncio.open_connection(host, port)
-                    writer.write(encode_frame(("hello", self.replica.replica_id)))
-                    self._writers[peer_id] = writer
-                    break
-                except OSError:
-                    if attempt == retries - 1:
-                        raise TransportError(f"cannot reach peer {peer_id} at {host}:{port}")
-                    await asyncio.sleep(retry_delay)
+            self._writers[peer_id] = writer
+            self._flush_outbound(peer_id, writer)
+            return
+
+    def _flush_outbound(self, peer_id: int, writer: asyncio.StreamWriter) -> None:
+        queue = self._outbound.get(peer_id)
+        if not queue:
+            return
+        try:
+            while queue:
+                writer.write(queue.popleft())
+        except (ConnectionResetError, RuntimeError):
+            # Connection died mid-flush; what remains stays queued for
+            # the next dial (the written prefix is lost, as any
+            # in-flight frame would be).
+            self._writers.pop(peer_id, None)
+            self._ensure_dialing(peer_id)
 
     async def stop(self) -> None:
         self._stopped = True
@@ -126,6 +203,8 @@ class AsyncReplicaNode:
             self._server.close()
             await self._server.wait_closed()
         for task in self._reader_tasks:
+            task.cancel()
+        for task in self._dial_tasks.values():
             task.cancel()
         for writer in self._writers.values():
             writer.close()
@@ -162,13 +241,26 @@ class AsyncReplicaNode:
             # Loopback: schedule soon, preserving handler non-reentrancy.
             self.loop.call_soon(self.replica.handle, dst, msg)
             return
+        frame = encode_frame(msg)
         writer = self._writers.get(dst)
         if writer is None or writer.is_closing():
-            return  # peer down: BFT protocols tolerate message loss to faulty nodes
+            self._enqueue(dst, frame)
+            self._ensure_dialing(dst)
+            return
         try:
-            writer.write(encode_frame(msg))
+            writer.write(frame)
         except (ConnectionResetError, RuntimeError):
             self._writers.pop(dst, None)
+            self._enqueue(dst, frame)
+            self._ensure_dialing(dst)
+
+    def _enqueue(self, dst: int, frame: bytes) -> None:
+        queue = self._outbound.get(dst)
+        if queue is None:
+            queue = self._outbound[dst] = deque(maxlen=self.outbound_limit)
+        if len(queue) == queue.maxlen:
+            self.dropped[dst] = self.dropped.get(dst, 0) + 1
+        queue.append(frame)  # deque(maxlen=...) evicts the oldest
 
 
 def local_peer_map(n: int, base_port: int = 39000, host: str = "127.0.0.1") -> Dict[int, Tuple[str, int]]:

@@ -11,6 +11,8 @@ Subcommands:
 * ``epochs`` — epoch-change timeline with triggering blames.
 * ``recovery`` — per-replica crash-recovery drill-down: downtime,
   catchup milestones, and time-to-catchup.
+* ``guard`` — synchrony-guard timeline: Δ violations, suspicion,
+  adjustment certificates, installs, and at-risk commit runs.
 * ``stragglers`` — per-replica delivery/commit lag profile.
 * ``headroom`` — observed small-message delay vs the configured Δ.
 * ``validate`` — structural validation of JSONL and Chrome-trace files;
@@ -35,6 +37,7 @@ from .analyze import (
     assemble_lifecycles,
     delta_headroom,
     epoch_timeline,
+    guard_timeline,
     phase_durations,
     recovery_timeline,
     straggler_rows,
@@ -103,6 +106,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
             seed=args.seed,
             faults=tuple(args.fault or ()),
             checkpoint_interval=args.checkpoint_interval,
+            guard_enabled=args.guard,
         ),
         observability=True,
     )
@@ -274,6 +278,19 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_guard(args: argparse.Namespace) -> int:
+    _, recorder = _load(args.trace)
+    rows = guard_timeline(recorder.events)
+    if not rows:
+        print("no synchrony-guard events in trace (guard disabled, or Δ never drifted)")
+        return 0
+    print(format_table(rows))
+    installs = [r for r in rows if r["event"] == "guard_delta_installed"]
+    at_risk = sum(int(r["count"]) for r in rows if r["event"] == "guard_at_risk_commit")
+    print(f"\nΔ installs: {len(installs)}; at-risk commits: {at_risk}")
+    return 0
+
+
 def _cmd_stragglers(args: argparse.Namespace) -> int:
     _, recorder = _load(args.trace)
     rows = straggler_rows(assemble_lifecycles(recorder.events), threshold=args.threshold)
@@ -383,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="checkpoint every K committed blocks (0 = off)",
     )
+    record_p.add_argument(
+        "--guard",
+        action="store_true",
+        help="attach the synchrony guard (repro.guard) to every replica",
+    )
     record_p.set_defaults(func=_cmd_record)
 
     report_p = sub.add_parser("report", help="phase-latency breakdown for a trace")
@@ -403,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
     recovery_p = sub.add_parser("recovery", help="crash-recovery drill-down")
     recovery_p.add_argument("trace")
     recovery_p.set_defaults(func=_cmd_recovery)
+
+    guard_p = sub.add_parser("guard", help="synchrony-guard Δ-drift timeline")
+    guard_p.add_argument("trace")
+    guard_p.set_defaults(func=_cmd_guard)
 
     stragglers_p = sub.add_parser("stragglers", help="per-replica lag profile")
     stragglers_p.add_argument("trace")

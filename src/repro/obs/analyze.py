@@ -13,6 +13,9 @@ into per-block **lifecycles** and derives:
   triggered each change;
 * the **recovery timeline** — per-replica crash/restart/catchup
   milestones with downtime and time-to-catchup durations;
+* the **guard timeline** — the Δ-drift story: violations observed,
+  suspicion, Δ adjustments proposed/certified/installed, and at-risk
+  commit runs (see :mod:`repro.guard`);
 * **straggler detection** — replicas whose delivery or commit lag sits
   far above the cluster median;
 * **Δ-headroom** — observed small-message delay vs the configured bound.
@@ -32,9 +35,12 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
 from .recorder import (
     BLOCK_MILESTONES,
+    EVENT_GUARD_AT_RISK_COMMIT,
+    EVENT_GUARD_VIOLATION,
     EVENT_RECOVERY_CAUGHT_UP,
     EVENT_RECOVERY_DOWN,
     EVENT_RECOVERY_RESTART,
+    GUARD_MILESTONES,
     MARK_COMMIT,
     MARK_PROPOSE,
     MsgSample,
@@ -329,6 +335,81 @@ def recovery_timeline(events: Iterable[ObsEvent]) -> List[Dict[str, object]]:
         row["target_height"] = attrs.get("target_height", "-")
         row["caught_up"] = caught is not None or restart is None
         rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Guard timeline
+# ---------------------------------------------------------------------------
+
+
+def guard_timeline(events: Iterable[ObsEvent]) -> List[Dict[str, object]]:
+    """Synchrony-guard forensics: the Δ-drift story of one run.
+
+    One row per guard milestone in time order — violations observed,
+    suspicion raised/cleared, Δ adjustments proposed, certified, and
+    installed — with two compressions so a sustained violation does not
+    drown the story: consecutive *violations* at one replica collapse
+    into a single row carrying a count and the worst latency, and
+    consecutive *at-risk commits* at one replica collapse into a row
+    with a count and height range.
+    """
+    rows: List[Dict[str, object]] = []
+
+    def detail_of(event: ObsEvent) -> str:
+        a = event.attrs
+        if event.kind == EVENT_GUARD_VIOLATION:
+            return (
+                f"src={a.get('src')} {a.get('msg_type', '?')} "
+                f"{a.get('latency', 0.0) * 1e3:.2f}ms > {a.get('bound', 0.0) * 1e3:.2f}ms"
+            )
+        if event.kind == EVENT_GUARD_AT_RISK_COMMIT:
+            return f"height={a.get('height')}" + (" (retro)" if a.get("retro") else "")
+        parts = []
+        for key in ("reason", "seq", "rung", "epoch", "height"):
+            if key in a:
+                parts.append(f"{key}={a[key]}")
+        for key in ("delta", "previous"):
+            if key in a:
+                parts.append(f"{key}={a[key] * 1e3:.1f}ms")
+        return " ".join(parts)
+
+    ordered = sorted(
+        (e for e in events if e.kind in GUARD_MILESTONES), key=lambda e: e.time
+    )
+    collapsible = (EVENT_GUARD_VIOLATION, EVENT_GUARD_AT_RISK_COMMIT)
+    # A run is per *replica*: interleaved events from other replicas do
+    # not break it, but any different guard event from the same replica
+    # does (so "violations, then an adjust, then more violations" keeps
+    # its shape).
+    open_run: Dict[int, Dict[str, object]] = {}
+    for event in ordered:
+        run = open_run.get(event.node)
+        if run is not None and run["event"] == event.kind and event.kind in collapsible:
+            run["count"] = int(run["count"]) + 1
+            run["until_t"] = round(event.time, 6)
+            if event.kind == EVENT_GUARD_VIOLATION:
+                worst = max(run["_worst"], event.attrs.get("latency", 0.0))
+                run["_worst"] = worst
+                run["detail"] = f"worst {worst * 1e3:.2f}ms, last src={event.attrs.get('src')}"
+            else:
+                run["detail"] = f"heights {run['_first_height']}..{event.attrs.get('height')}"
+            continue
+        row: Dict[str, object] = {
+            "t": round(event.time, 6),
+            "until_t": "-",
+            "replica": event.node,
+            "event": event.kind,
+            "count": 1,
+            "detail": detail_of(event),
+            "_worst": event.attrs.get("latency", 0.0),
+            "_first_height": event.attrs.get("height"),
+        }
+        rows.append(row)
+        open_run[event.node] = row
+    for row in rows:
+        row.pop("_worst", None)
+        row.pop("_first_height", None)
     return rows
 
 

@@ -76,6 +76,25 @@ RECOVERY_MILESTONES = (
     EVENT_RECOVERY_CAUGHT_UP,
 )
 
+#: Synchrony-guard lifecycle event kinds, in canonical order (repro.guard).
+EVENT_GUARD_VIOLATION = "guard_violation"
+EVENT_GUARD_SUSPECTED = "guard_suspected"
+EVENT_GUARD_ADJUST_PROPOSED = "guard_adjust_proposed"
+EVENT_GUARD_ADJUST_CERTIFIED = "guard_adjust_certified"
+EVENT_GUARD_DELTA_INSTALLED = "guard_delta_installed"
+EVENT_GUARD_AT_RISK_COMMIT = "guard_at_risk_commit"
+EVENT_GUARD_STABILIZED = "guard_stabilized"
+
+GUARD_MILESTONES = (
+    EVENT_GUARD_VIOLATION,
+    EVENT_GUARD_SUSPECTED,
+    EVENT_GUARD_ADJUST_PROPOSED,
+    EVENT_GUARD_ADJUST_CERTIFIED,
+    EVENT_GUARD_DELTA_INSTALLED,
+    EVENT_GUARD_AT_RISK_COMMIT,
+    EVENT_GUARD_STABILIZED,
+)
+
 
 @dataclass(frozen=True)
 class ObsEvent:

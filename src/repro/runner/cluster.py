@@ -17,6 +17,7 @@ from ..consensus.replica import BaseReplica
 from ..core.protocol import AlterBFTReplica
 from ..crypto.keystore import build_cluster_keys
 from ..faults.behaviors import apply_behavior, parse_behavior
+from ..guard import SynchronyMonitor
 from ..mempool.mempool import Mempool
 from ..mempool.workload import WorkloadGenerator
 from ..net.delay import DelayModel, HybridCloudDelayModel, WanDelayModel
@@ -109,7 +110,15 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
     replica_cls = replica_class_for(config.protocol)
 
     faulty: Dict[int, str] = dict(config.faults)
-    honest_ids = {i for i in range(pconf.n) if i not in faulty}
+    # A slow-link replica is *honest*: the gray failure degrades its
+    # uplink, not its behavior.  It keeps receiving workload and its
+    # ledger stays subject to the safety checks — exactly the point of
+    # the failure mode (an honest replica whose messages violate Δ).
+    honest_ids = {
+        i
+        for i in range(pconf.n)
+        if i not in faulty or parse_behavior(faulty[i])[0] == "slow-link"
+    }
     collector = MetricsCollector(warmup=config.warmup, honest_ids=honest_ids)
 
     # Recovery attachments (WAL + manager) exist only when the run uses
@@ -133,6 +142,13 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
         if needs_recovery and isinstance(replica, AlterBFTReplica):
             replica.wal = MemoryWal()
             replica.recovery = RecoveryManager(replica, pconf.checkpoint_interval)
+        if pconf.guard_enabled and isinstance(replica, AlterBFTReplica):
+            replica.guard = SynchronyMonitor(
+                replica, small_threshold=config.network_config.small_threshold
+            )
+            # The guard's measurement tap: every delivery to this replica
+            # reports its one-way latency.
+            network.set_delay_observer(replica_id, replica.guard.on_network_delay)
         _instrument(replica, collector, scheduler)
         if replica_id in faulty:
             apply_behavior(faulty[replica_id], replica, network, scheduler)

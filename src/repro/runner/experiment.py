@@ -45,6 +45,22 @@ def summarize(cluster: Cluster) -> ExperimentResult:
 
     counters = cluster.trace.counters
     honest_replicas = [r for r in cluster.replicas if r.replica_id in cluster.honest_ids]
+
+    # Synchrony-guard surfacing: when monitors are attached, the result
+    # row reports how honest the run's commits were about Δ drift.  Max
+    # over honest replicas — an at-risk flag anywhere is an at-risk flag.
+    extra: List = []
+    guards = [r.guard for r in honest_replicas if r.guard is not None]
+    if guards:
+        extra = [
+            ("guard_violations", max(g.violation_count for g in guards)),
+            ("at_risk_commits", max(r.ledger.at_risk_count for r in honest_replicas)),
+            ("delta_installs", max(g.installs for g in guards)),
+            (
+                "delta_final_ms",
+                round(max(g.effective_delta for g in guards) * 1e3, 3),
+            ),
+        ]
     if config.protocol in ("alterbft", "sync-hotstuff"):
         epoch_changes = max(r.epoch for r in honest_replicas) - 1
     elif config.protocol == "pbft":
@@ -69,6 +85,7 @@ def summarize(cluster: Cluster) -> ExperimentResult:
         bytes_per_node=dict(cluster.trace.bytes_sent_by_node),
         safety_ok=check_safety(cluster.replicas, cluster.honest_ids),
         offered_rate=config.workload.rate,
+        extra=tuple(extra),
         obs=obs_summary,
     )
 

@@ -26,6 +26,12 @@ BLAME_DOMAIN = "blame"
 #: Signing domain for checkpoint votes (recovery subsystem).
 CHECKPOINT_DOMAIN = "checkpoint"
 
+#: Signing domain for Δ-adjustment proposals (guard subsystem).
+DELTA_ADJUST_DOMAIN = "delta-adjust"
+
+#: Signing domain for synchrony-guard probes (guard subsystem).
+GUARD_PROBE_DOMAIN = "guard-probe"
+
 
 @lru_cache(maxsize=8192)
 def vote_signing_bytes(protocol: str, phase: int, epoch: int, height: int, block_hash: Digest) -> bytes:
@@ -396,4 +402,132 @@ class CheckpointCertificate:
         return (
             f"CheckpointCert({self.protocol} h={self.height} "
             f"{short_hex(self.block_hash)} x{len(self.votes)})"
+        )
+
+
+@lru_cache(maxsize=1024)
+def delta_adjust_signing_bytes(protocol: str, seq: int, rung: int) -> bytes:
+    """Canonical bytes a Δ-adjustment signature covers (memoized).
+
+    ``seq`` is the count of adjustments the proposer has already
+    installed, so a certificate for one rung switch cannot be replayed to
+    re-trigger it later; ``rung`` is the target exponent on the Δ ladder
+    (effective Δ = ``base_delta * 2**rung``).  Agreeing on a discrete rung
+    rather than a raw float lets replicas with slightly divergent local
+    tail estimates still produce *matching* adjustments.
+    """
+    return encode((protocol, seq, rung))
+
+
+@lru_cache(maxsize=4096)
+def guard_probe_signing_bytes(protocol: str, sender: int, seq: int) -> bytes:
+    """Canonical bytes a guard-probe signature covers (memoized)."""
+    return encode((protocol, sender, seq))
+
+
+@register(110)
+@dataclass(frozen=True)
+class DeltaAdjust:
+    """A signed proposal to switch the synchrony bound to a new ladder rung.
+
+    Attributes:
+        protocol: short protocol name the adjustment belongs to.
+        seq: number of adjustments the proposer has installed so far
+            (replay protection; all correct replicas install in lockstep
+            because installs are certificate-driven).
+        rung: proposed ladder rung; effective Δ = ``delta * 2**rung``.
+        proposer: replica id of the signer.
+        signature: signature over :func:`delta_adjust_signing_bytes`.
+    """
+
+    protocol: str
+    seq: int
+    rung: int
+    proposer: int
+    signature: bytes
+
+    @staticmethod
+    def create(signer: Signer, protocol: str, seq: int, rung: int) -> "DeltaAdjust":
+        message = delta_adjust_signing_bytes(protocol, seq, rung)
+        return DeltaAdjust(
+            protocol=protocol,
+            seq=seq,
+            rung=rung,
+            proposer=signer.replica_id,
+            signature=signer.digest_and_sign(DELTA_ADJUST_DOMAIN, message),
+        )
+
+    def verify(self, signer: Signer) -> bool:
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+        ):
+            return memo[2]
+        message = delta_adjust_signing_bytes(self.protocol, self.seq, self.rung)
+        ok = signer.verify_digest(self.proposer, DELTA_ADJUST_DOMAIN, message, self.signature)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, ok))
+        return ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeltaAdjust({self.protocol} seq={self.seq} rung={self.rung} by {self.proposer})"
+
+
+@register(111)
+@dataclass(frozen=True)
+class DeltaAdjustCertificate:
+    """f+1 matching Δ-adjustments: authority to install a new ladder rung.
+
+    f+1 signers include at least one honest replica whose local delay
+    measurements justified the switch, so Byzantine replicas alone can
+    never move Δ.  Every correct replica installs the certified rung at
+    its next epoch boundary, making the switch atomic across the cluster
+    (epoch entry is itself synchronized within Δ by the blame machinery).
+    """
+
+    protocol: str
+    seq: int
+    rung: int
+    adjusts: Tuple[Tuple[int, bytes], ...]  # (proposer id, signature), sorted
+
+    @staticmethod
+    def from_adjusts(adjusts: Tuple[DeltaAdjust, ...]) -> "DeltaAdjustCertificate":
+        first = adjusts[0]
+        assert all(
+            (a.protocol, a.seq, a.rung) == (first.protocol, first.seq, first.rung)
+            for a in adjusts
+        ), "cannot aggregate divergent delta adjustments"
+        pairs = tuple(sorted((a.proposer, a.signature) for a in adjusts))
+        return DeltaAdjustCertificate(
+            protocol=first.protocol, seq=first.seq, rung=first.rung, adjusts=pairs
+        )
+
+    def verify(self, signer: Signer, quorum: int) -> bool:
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+            and memo[2] == quorum
+        ):
+            return memo[3]
+        ok = self._verify_uncached(signer, quorum)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, quorum, ok))
+        return ok
+
+    def _verify_uncached(self, signer: Signer, quorum: int) -> bool:
+        proposers = [proposer for proposer, _ in self.adjusts]
+        if len(set(proposers)) != len(proposers) or len(proposers) < quorum:
+            return False
+        message = delta_adjust_signing_bytes(self.protocol, self.seq, self.rung)
+        return all(
+            signer.verify_digest(proposer, DELTA_ADJUST_DOMAIN, message, sig)
+            for proposer, sig in self.adjusts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaAdjustCert({self.protocol} seq={self.seq} rung={self.rung} "
+            f"x{len(self.adjusts)})"
         )

@@ -9,7 +9,10 @@ genuine encoded size.  Type-id allocation:
 * 40–59  Sync HotStuff
 * 60–79  HotStuff
 * 80–99  PBFT
-* 100+   measurement probes and client traffic
+* 100–109 measurement probes and client traffic
+* 110–119 synchrony guard (Δ-adjust certificates live in
+  :mod:`repro.types.certificates` at 110–111; guard wire messages here
+  at 112–115)
 """
 
 from __future__ import annotations
@@ -25,6 +28,8 @@ from .certificates import (
     BlameCertificate,
     CheckpointCertificate,
     CheckpointVote,
+    DeltaAdjust,
+    DeltaAdjustCertificate,
     QuorumCertificate,
     Vote,
 )
@@ -434,6 +439,65 @@ class ClientReplyMsg:
     seq: int
     committed_at: float
     result: Optional[bytes]
+
+
+# --------------------------------------------------------------------------
+# Synchrony guard (AlterBFT family; see repro.guard)
+#
+# All guard traffic is *small* by construction: the whole point is to
+# measure and re-certify the small-message bound, so the guard's own
+# messages must themselves live under it.
+# --------------------------------------------------------------------------
+
+
+@register(112)
+@dataclass(frozen=True)
+class GuardProbeMsg:
+    """Signed synchrony probe, broadcast every ``guard_probe_interval``.
+
+    Keeps every link's delay estimate fresh even when consensus traffic
+    is sparse.  Signed so a Byzantine replica cannot forge probes in a
+    peer's name to poison that peer's measured delay distribution.
+    """
+
+    sender: int
+    seq: int
+    sent_at: float
+    signature: bytes
+
+
+@register(113)
+@dataclass(frozen=True)
+class GuardProbeEchoMsg:
+    """Signed reply to a :class:`GuardProbeMsg`.
+
+    Generates reverse-path small-message traffic (so both directions of
+    every link are sampled) and carries the original send time for
+    RTT-style cross-checks.
+    """
+
+    sender: int
+    seq: int
+    probe_sender: int
+    probe_sent_at: float
+    signature: bytes
+
+
+@register(114)
+@dataclass(frozen=True)
+class DeltaAdjustMsg:
+    """A broadcast :class:`repro.types.certificates.DeltaAdjust` proposal."""
+
+    adjust: DeltaAdjust
+
+
+@register(115)
+@dataclass(frozen=True)
+class DeltaAdjustCertMsg:
+    """A gossiped Δ-adjustment certificate; receiving one schedules the
+    new rung for installation at the next epoch boundary."""
+
+    cert: DeltaAdjustCertificate
 
 
 def proposal_signing_bytes(block_hash: Digest) -> bytes:

@@ -49,7 +49,7 @@ class TestSuite:
     def test_every_experiment_has_expectation(self):
         ids = {eid for eid, _ in EXPERIMENTS}
         assert ids == set(PAPER_EXPECTATIONS)
-        assert len(EXPERIMENTS) == 12
+        assert len(EXPERIMENTS) == 13
 
     def test_render_markdown(self):
         output = ExperimentOutput(

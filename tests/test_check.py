@@ -269,6 +269,20 @@ class TestScenarios:
         assert len(grid) >= 200
         assert len(set(s.scenario_id for s in grid)) == len(grid)
 
+    def test_slow_link_id_roundtrip(self):
+        scenario = Scenario("alterbft", "slow-link", "calibrated", 3)
+        assert parse_scenario_id(scenario.scenario_id) == scenario
+
+    def test_grid_includes_slow_link(self):
+        grid = default_grid(seeds_per_combo=1)
+        assert len(grid) == 42  # 2 protocols x 7 behaviors x 3 profiles
+        assert any(s.behavior == "slow-link" for s in grid)
+
+    def test_slow_link_config_enables_guard(self):
+        config = build_config(Scenario("alterbft", "slow-link", "calibrated", 1))
+        assert config.protocol_config.guard_enabled
+        assert config.faults and "slow-link@" in config.faults[0][1]
+
     def test_configs_validate(self):
         for scenario in default_grid(seeds_per_combo=1):
             build_config(scenario).validate()
@@ -301,6 +315,16 @@ class TestSweep:
         cluster2.start()
         cluster2.run()
         assert cluster2.trace.fingerprint() == bare
+
+    def test_slow_link_scenario_runs_guard_flagging(self):
+        from repro.check import GUARD_FLAGGING
+
+        result = run_scenario(parse_scenario_id("alterbft:slow-link:calibrated:1"))
+        assert result.ok, [str(v) for v in result.violations]
+        names = [r.name for r in result.results]
+        assert GUARD_FLAGGING in names
+        # Gray failure legitimately slows commits: bounded-gap not asserted.
+        assert BOUNDED_GAP not in names
 
     def test_relay_off_fork_detected_and_deterministic(self):
         """The E10 ablation: the harness must catch the fork, repeatably."""

@@ -119,6 +119,59 @@ class TestSilent:
         assert ctx.pending_tags() == ["pacemaker"]
 
 
+class TestSlowLink:
+    def _net(self):
+        scheduler = Scheduler()
+        network = SimNetwork(
+            scheduler,
+            UniformDelayModel(0, 0.001),
+            RngFactory(1),
+            priority_threshold=4096,
+        )
+        return scheduler, network
+
+    def test_parse(self):
+        assert parse_behavior("slow-link@1.5:3.0") == ("slow-link", (1.5, 3.0))
+
+    def test_requires_time_range(self):
+        scheduler, network = self._net()
+        for spec in ("slow-link", "slow-link@1.0"):
+            with pytest.raises(ConfigError):
+                apply_behavior(spec, _replica(1), network, scheduler)
+
+    def test_inflates_only_target_small_messages_inside_window(self):
+        from repro.faults.behaviors import SLOW_LINK_FACTOR_LOW
+
+        scheduler, network = self._net()
+        replica = _replica(1)
+        apply_behavior("slow-link@1.0:2.0", replica, network, scheduler)
+        assert len(network.delay_policies) == 1
+        policy = network.delay_policies[0]
+        delta = replica.config.delta
+
+        # Outside the window (now = 0): delays pass through untouched.
+        assert policy(1, 0, "m", 100, 1e-4) == 1e-4
+
+        results = {}
+
+        def probe():
+            results["target_small"] = policy(1, 0, "m", 100, 1e-4)
+            results["other_src"] = policy(2, 0, "m", 100, 1e-4)
+            results["target_large"] = policy(1, 0, "m", 100_000, 1e-4)
+
+        scheduler.at(1.5, probe)
+        scheduler.run(until=1.6)
+        assert results["target_small"] >= SLOW_LINK_FACTOR_LOW * delta
+        assert results["other_src"] == 1e-4
+        assert results["target_large"] == 1e-4
+
+    def test_drops_pass_through(self):
+        scheduler, network = self._net()
+        apply_behavior("slow-link@0.0:10.0", _replica(1), network, scheduler)
+        policy = network.delay_policies[0]
+        assert policy(1, 0, "m", 100, None) is None
+
+
 class TestBehaviorTargets:
     def test_equivocate_supported_on_every_protocol_family(self):
         """Byzantine behaviors now have per-protocol implementations."""

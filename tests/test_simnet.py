@@ -121,6 +121,168 @@ class TestFiltersAndCrash:
             scheduler.run()
 
 
+class TestDelayPolicyComposition:
+    def test_policies_chain_in_registration_order(self):
+        scheduler, net, inboxes = make_net()
+        seen = []
+
+        def first(src, dst, msg, size, delay):
+            seen.append(("first", delay))
+            return 0.5
+
+        def second(src, dst, msg, size, delay):
+            seen.append(("second", delay))
+            return delay * 2
+
+        net.add_delay_policy(first)
+        net.add_delay_policy(second)
+        net.send(0, 1, "x")
+        scheduler.run()
+        assert [name for name, _ in seen] == ["first", "second"]
+        assert seen[1][1] == 0.5  # second sees first's output
+        assert scheduler.now == pytest.approx(1.0)
+        assert inboxes[1] == [(0, "x")]
+
+    def test_prepend_puts_policy_first(self):
+        _, net, _ = make_net()
+
+        def later(src, dst, msg, size, delay):
+            return delay
+
+        def base(src, dst, msg, size, delay):
+            return delay
+
+        net.add_delay_policy(later)
+        net.add_delay_policy(base, prepend=True)
+        assert net.delay_policies == (base, later)
+
+    def test_policy_none_drops_and_short_circuits(self):
+        scheduler, net, inboxes = make_net()
+        downstream_calls = []
+        net.add_delay_policy(lambda src, dst, msg, size, delay: None)
+        net.add_delay_policy(
+            lambda src, dst, msg, size, delay: downstream_calls.append(delay) or delay
+        )
+        net.send(0, 1, "x")
+        scheduler.run()
+        assert inboxes[1] == []
+        assert downstream_calls == []
+
+    def test_model_drop_bypasses_policies(self):
+        class DroppingModel:
+            def sample(self, rng, src, dst, size):
+                return None
+
+        scheduler = Scheduler()
+        net = SimNetwork(scheduler, DroppingModel(), RngFactory(1), Trace())
+        inbox = []
+        net.attach(0, lambda s, m: None)
+        net.attach(1, lambda s, m: inbox.append(m))
+        policy_calls = []
+        net.add_delay_policy(
+            lambda src, dst, msg, size, delay: policy_calls.append(delay) or delay
+        )
+        net.send(0, 1, "x")
+        scheduler.run()
+        assert inbox == []
+        assert policy_calls == []
+
+    def test_filter_drop_precedes_delay_policies(self):
+        scheduler, net, inboxes = make_net()
+        policy_calls = []
+        net.add_filter(lambda src, dst, msg, size: False)
+        net.add_delay_policy(
+            lambda src, dst, msg, size, delay: policy_calls.append(delay) or delay
+        )
+        net.send(0, 1, "x")
+        scheduler.run()
+        assert inboxes[1] == []
+        assert policy_calls == []
+
+    def test_set_delay_policy_replaces_chain(self):
+        _, net, _ = make_net()
+
+        def p1(src, dst, msg, size, delay):
+            return delay
+
+        def p2(src, dst, msg, size, delay):
+            return delay
+
+        def p3(src, dst, msg, size, delay):
+            return delay
+
+        net.add_delay_policy(p1)
+        net.add_delay_policy(p2)
+        net.set_delay_policy(p3)
+        assert net.delay_policies == (p3,)
+        net.set_delay_policy(None)
+        assert net.delay_policies == ()
+
+    def test_identity_policy_preserves_delivery_schedule(self):
+        """Installing a pass-through policy must not perturb the RNG
+        stream or the delivery times other components see."""
+
+        def deliveries(with_policy):
+            scheduler, net, _ = make_net()
+            times = []
+            net._handlers[1] = lambda src, msg: times.append(scheduler.now)
+            if with_policy:
+                net.add_delay_policy(lambda src, dst, msg, size, delay: delay)
+            for i in range(10):
+                net.send(0, 1, f"m{i}")
+            scheduler.run()
+            return times
+
+        assert deliveries(with_policy=True) == deliveries(with_policy=False)
+
+
+class TestDelayObserver:
+    def test_observer_sees_latency_and_runs_before_handler(self):
+        scheduler, net, _ = make_net(low=0.002, high=0.002)
+        order = []
+        net.set_delay_observer(
+            1, lambda src, msg, size, latency: order.append(("obs", src, latency))
+        )
+        net._handlers[1] = lambda src, msg: order.append(("handler", msg))
+        net.send(0, 1, "x")
+        scheduler.run()
+        assert order[0] == ("obs", 0, pytest.approx(0.002))
+        assert order[1] == ("handler", "x")
+
+    def test_observer_clearable(self):
+        scheduler, net, inboxes = make_net()
+        net.set_delay_observer(1, lambda src, msg, size, latency: None)
+        net.set_delay_observer(1, None)
+        net.send(0, 1, "x")
+        scheduler.run()
+        assert inboxes[1] == [(0, "x")]
+
+    def test_observer_does_not_change_delivery_times(self):
+        def deliveries(with_observer):
+            scheduler, net, _ = make_net()
+            times = []
+            net._handlers[1] = lambda src, msg: times.append(scheduler.now)
+            if with_observer:
+                net.set_delay_observer(1, lambda src, msg, size, latency: None)
+            for i in range(10):
+                net.send(0, 1, f"m{i}")
+            scheduler.run()
+            return times
+
+        assert deliveries(with_observer=True) == deliveries(with_observer=False)
+
+    def test_observer_latency_includes_policy_inflation(self):
+        scheduler, net, _ = make_net(low=0.001, high=0.001)
+        net.add_delay_policy(lambda src, dst, msg, size, delay: delay + 0.01)
+        latencies = []
+        net.set_delay_observer(
+            1, lambda src, msg, size, latency: latencies.append(latency)
+        )
+        net.send(0, 1, "x")
+        scheduler.run()
+        assert latencies == [pytest.approx(0.011)]
+
+
 class TestEgressSerialization:
     def test_large_copies_queue_behind_each_other(self):
         # 1 MB payload at 1 MB/s egress: 2nd copy departs ~1 s after 1st.

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import random
 
 import pytest
 
@@ -14,6 +15,7 @@ from repro.crypto.keystore import build_cluster_keys
 from repro.errors import TransportError
 from repro.net.transport import (
     AsyncReplicaNode,
+    backoff_delay,
     encode_frame,
     local_peer_map,
     read_frame,
@@ -22,6 +24,16 @@ from repro.net.transport import (
 from repro.types.transaction import make_transaction
 
 BASE_PORT = 41830  # avoid clashing with the example's default ports
+
+
+def make_replica(replica_id: int, n: int = 3, f: int = 1) -> AlterBFTReplica:
+    signers = build_cluster_keys("hashsig", n)
+    return AlterBFTReplica(
+        replica_id,
+        ValidatorSet.synchronous(n, f),
+        ProtocolConfig(n=n, f=f, delta=0.02, epoch_timeout=2.0),
+        signers[replica_id],
+    )
 
 
 class TestFraming:
@@ -56,6 +68,88 @@ class TestFraming:
             reader.feed_data((2**31).to_bytes(4, "big") + b"xx")
             with pytest.raises(TransportError):
                 await read_frame(reader)
+
+        asyncio.run(run())
+
+
+class TestBackoff:
+    def test_deterministic_given_rng(self):
+        assert backoff_delay(3, rng=random.Random(42)) == backoff_delay(
+            3, rng=random.Random(42)
+        )
+
+    def test_doubles_then_caps_with_jitter_in_range(self):
+        rng = random.Random(7)
+        for attempt in range(12):
+            ceiling = min(2.0, 0.05 * 2**attempt)
+            delay = backoff_delay(attempt, base=0.05, cap=2.0, rng=rng)
+            assert ceiling / 2 <= delay <= ceiling
+
+    def test_huge_attempt_does_not_overflow(self):
+        assert backoff_delay(10_000, cap=2.0, rng=random.Random(1)) <= 2.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delay(-1)
+
+
+class TestOutboundQueue:
+    def test_drop_oldest_on_overflow(self):
+        peers = local_peer_map(2, base_port=BASE_PORT + 100)
+        node = AsyncReplicaNode(make_replica(0), peers, outbound_limit=2)
+        for i in range(5):
+            node._enqueue(1, bytes([i]))
+        assert list(node._outbound[1]) == [bytes([3]), bytes([4])]
+        assert node.dropped[1] == 3
+
+    def test_start_tolerates_unreachable_peers(self):
+        """Refused peers no longer fail startup: dialing retries in the
+        background while the protocol runs."""
+
+        async def run():
+            peers = local_peer_map(3, base_port=BASE_PORT + 110)
+            node = AsyncReplicaNode(make_replica(0), peers)
+            await node.start()  # peers 1 and 2 are not listening
+            assert node._writers == {}
+            await asyncio.sleep(0.05)
+            await node.stop()
+
+        asyncio.run(run())
+
+    def test_late_peer_receives_queued_frames_in_order(self):
+        """Frames sent before the peer exists queue up and flush once the
+        background dialer connects."""
+
+        async def run():
+            peers = local_peer_map(2, base_port=BASE_PORT + 120)
+            node = AsyncReplicaNode(make_replica(0), peers, outbound_limit=64)
+            node.loop = asyncio.get_running_loop()
+            for i in range(3):
+                node.send(1, ("queued", i))
+            assert len(node._outbound[1]) == 3
+
+            received = []
+
+            async def on_connection(reader, writer):
+                try:
+                    while True:
+                        received.append(await read_frame(reader))
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    pass
+
+            server = await asyncio.start_server(on_connection, *peers[1])
+            try:
+                for _ in range(100):
+                    await asyncio.sleep(0.05)
+                    if len(received) >= 4:
+                        break
+            finally:
+                await node.stop()
+                server.close()
+                await server.wait_closed()
+            assert received[0] == ("hello", 0)
+            assert received[1:4] == [("queued", 0), ("queued", 1), ("queued", 2)]
+            assert not node._outbound[1]
 
         asyncio.run(run())
 
