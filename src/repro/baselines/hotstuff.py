@@ -42,7 +42,7 @@ from ..obs.recorder import (
     MARK_VOTE,
 )
 from ..types.block import Block, make_block
-from ..types.certificates import QuorumCertificate, Vote, genesis_qc
+from ..types.certificates import AnyQuorumCert, Vote, genesis_qc
 from ..types.messages import HSNewViewMsg, HSProposalMsg, VoteMsg
 
 #: Signing domain for new-view messages.
@@ -70,13 +70,13 @@ class HotStuffReplica(BaseReplica):
     ) -> None:
         super().__init__(replica_id, validators, config, signer, mempool)
         self.view = 1
-        self.high_qc: QuorumCertificate = genesis_qc(
+        self.high_qc: AnyQuorumCert = genesis_qc(
             self.protocol_name, self.store.genesis.block_hash
         )
-        self.locked_qc: QuorumCertificate = self.high_qc
+        self.locked_qc: AnyQuorumCert = self.high_qc
         self.last_voted_view = 0
         self.pacemaker: Optional[Pacemaker] = None
-        self._justify_of: Dict[Digest, QuorumCertificate] = {
+        self._justify_of: Dict[Digest, AnyQuorumCert] = {
             self.store.genesis.block_hash: self.high_qc
         }
         self._proposed_views: Set[int] = set()
@@ -269,13 +269,13 @@ class HotStuffReplica(BaseReplica):
                 if self.is_leader(self.view):
                     self._maybe_lead()
 
-    def _safe_to_vote(self, block: Block, justify: QuorumCertificate) -> bool:
+    def _safe_to_vote(self, block: Block, justify: AnyQuorumCert) -> bool:
         """HotStuff safeNode: extend the lock, or see a higher justify."""
         if justify.rank > self.locked_qc.rank:
             return True
         return self.store.extends(block.parent, self.locked_qc.block_hash)
 
-    def _update_chain_state(self, qc: QuorumCertificate) -> None:
+    def _update_chain_state(self, qc: AnyQuorumCert) -> None:
         """Pre-commit / commit / decide bookkeeping from a certificate."""
         if qc.rank > self.high_qc.rank:
             self.high_qc = qc

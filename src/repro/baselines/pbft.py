@@ -48,7 +48,7 @@ from ..obs.recorder import (
     MARK_VOTE,
 )
 from ..types.block import Block, make_block
-from ..types.certificates import QuorumCertificate, Vote
+from ..types.certificates import AnyQuorumCert, Vote
 from ..types.messages import (
     PBFTCommitMsg,
     PBFTNewViewMsg,
@@ -100,16 +100,16 @@ class PBFTReplica(BaseReplica):
         # Pre-prepares that arrived before their predecessor: view → seq → msg.
         self._out_of_order: Dict[int, Dict[int, PBFTPrePrepareMsg]] = {}
         # Prepare certificates by seq (highest-view one kept).
-        self._prepared: Dict[int, Tuple[QuorumCertificate, Block]] = {}
+        self._prepared: Dict[int, Tuple[AnyQuorumCert, Block]] = {}
         self._prepare_voted: Set[Tuple[int, int]] = set()  # (view, seq)
         self._commit_voted: Set[Tuple[int, int]] = set()
         # Commit certificates awaiting in-order execution: seq → (block, qc).
-        self._commit_ready: Dict[int, Tuple[Block, QuorumCertificate]] = {}
-        self._commit_qcs: Dict[int, QuorumCertificate] = {}
+        self._commit_ready: Dict[int, Tuple[Block, AnyQuorumCert]] = {}
+        self._commit_qcs: Dict[int, AnyQuorumCert] = {}
         # Certificates that formed before their pre-prepare arrived (votes
         # are small/fast; proposals are large/slower): block_hash → QC.
-        self._orphan_prepare_qcs: Dict[Digest, QuorumCertificate] = {}
-        self._orphan_commit_qcs: Dict[Digest, QuorumCertificate] = {}
+        self._orphan_prepare_qcs: Dict[Digest, AnyQuorumCert] = {}
+        self._orphan_commit_qcs: Dict[Digest, AnyQuorumCert] = {}
         # View change accounting: view → sender → message.
         self._view_changes: Dict[int, Dict[int, PBFTViewChangeMsg]] = {}
         self._installed_views: Set[int] = set()
@@ -267,7 +267,7 @@ class PBFTReplica(BaseReplica):
             return
         self._on_prepared(qc)
 
-    def _on_prepared(self, qc: QuorumCertificate) -> None:
+    def _on_prepared(self, qc: AnyQuorumCert) -> None:
         seq = qc.height
         block = self._accepted.get(qc.epoch, {}).get(seq)
         if block is None:

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
 
 from ..crypto.hashing import short_hex
-from ..types.certificates import QuorumCertificate, Vote
+from ..types.certificates import AnyQuorumCert, Vote
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runner.cluster import Cluster
@@ -43,6 +43,7 @@ CERTIFIED_CHAIN = "certified-chain"
 BOUNDED_GAP = "bounded-gap"
 RECOVERY = "recovery"
 GUARD_FLAGGING = "guard-flagging"
+BAD_VOTE_ATTRIBUTION = "bad-vote-attribution"
 
 
 @dataclass(frozen=True)
@@ -80,14 +81,14 @@ def check_agreement(cluster: "Cluster") -> InvariantResult:
     return InvariantResult(AGREEMENT, True)
 
 
-def _collect_certificates(cluster: "Cluster") -> List[QuorumCertificate]:
+def _collect_certificates(cluster: "Cluster") -> List[AnyQuorumCert]:
     """Every quorum certificate any honest replica holds, deduplicated.
 
     Covers directly formed certificates (vote accounting), justify
     certificates carried by proposals, high-water certificates, and the
     orphan QC buffers some baselines keep for out-of-order arrivals.
     """
-    seen: Set[QuorumCertificate] = set()
+    seen: Set[AnyQuorumCert] = set()
     for replica in cluster.replicas:
         if replica.replica_id not in cluster.honest_ids:
             continue
@@ -286,6 +287,42 @@ def check_guard_flagging(
         )
     return InvariantResult(
         GUARD_FLAGGING, True, f"{examined} in-window commits flagged or re-certified"
+    )
+
+
+def check_bad_vote_attribution(cluster: "Cluster", faulty_id: int) -> InvariantResult:
+    """Batch bisection attributed the corrupted flood — and only it.
+
+    For the bad-vote scenarios (``ProtocolConfig.crypto_batch`` on, one
+    Byzantine replica corrupting every vote signature it sends): some
+    honest replica must have bisected a failing vote flood down to the
+    faulty voter and excluded it, and **no honest voter may ever be
+    attributed** — exactness of the bisection is the whole point, since
+    an exclusion is an accusation.
+    """
+    honest = [r for r in cluster.replicas if r.replica_id in cluster.honest_ids]
+    if not honest:
+        return InvariantResult(BAD_VOTE_ATTRIBUTION, False, "no honest replicas")
+    false_positives = sorted(
+        {voter for replica in honest for voter in replica._excluded_voters} - {faulty_id}
+    )
+    if false_positives:
+        return InvariantResult(
+            BAD_VOTE_ATTRIBUTION,
+            False,
+            f"honest voters falsely attributed: {false_positives}",
+        )
+    attributed = [r.replica_id for r in honest if faulty_id in r._excluded_voters]
+    if not attributed:
+        return InvariantResult(
+            BAD_VOTE_ATTRIBUTION,
+            False,
+            f"no honest replica attributed voter {faulty_id} despite the corrupted flood",
+        )
+    return InvariantResult(
+        BAD_VOTE_ATTRIBUTION,
+        True,
+        f"{len(attributed)}/{len(honest)} honest replicas excluded voter {faulty_id}",
     )
 
 

@@ -1,6 +1,6 @@
 """Seed-sweep runner: execute scenarios, check invariants, report.
 
-``python -m repro.check`` runs the default grid (294 scenarios across
+``python -m repro.check`` runs the default grid (336 scenarios across
 {AlterBFT, Sync HotStuff} × {fault behaviors} × {adversary profiles} ×
 seeds), expecting **zero** invariant violations, then demonstrates that
 the harness detects real violations by re-running the E10 relay-off
@@ -28,11 +28,13 @@ from .invariants import (
     AGREEMENT,
     InvariantResult,
     check_all,
+    check_bad_vote_attribution,
     check_guard_flagging,
     violations,
 )
 from .scenarios import (
     BEHAVIORS,
+    FAULTY_ID,
     GUARD_GRACE,
     GUARD_SAFE_FACTOR,
     PROTOCOLS,
@@ -101,6 +103,12 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             recovery_time=RECOVERY_TIME,
             gap_bound=liveness_gap_bound(config.protocol_config),
         )
+        if scenario.behavior == "bad-vote":
+            # The lazy batch verifier must have bisected the corrupted
+            # flood to exactly the faulty voter — no false attribution,
+            # no missed attribution — on top of the usual invariants
+            # (liveness: the honest quorum still commits without it).
+            results.append(check_bad_vote_attribution(cluster, FAULTY_ID))
     else:
         results = check_all(cluster)
     ledger_state = b"".join(
@@ -169,7 +177,8 @@ def _print_report(results: Sequence[ScenarioResult]) -> int:
     verdict = "PASS" if not failed else "FAIL"
     print(
         f"\n{verdict}: {len(results) - len(failed)}/{len(results)} scenarios satisfied "
-        "agreement, certified-chain, bounded-gap, recovery, and guard-flagging invariants"
+        "agreement, certified-chain, bounded-gap, recovery, guard-flagging, and "
+        "bad-vote-attribution invariants"
     )
     return len(failed)
 
@@ -195,7 +204,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Sweep seeded fault/adversary scenarios and check consensus invariants.",
     )
     parser.add_argument(
-        "--seeds", type=int, default=7, help="seeds per combo (default 7 → 294 scenarios)"
+        "--seeds", type=int, default=7, help="seeds per combo (default 7 → 336 scenarios)"
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     parser.add_argument(

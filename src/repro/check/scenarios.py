@@ -38,6 +38,7 @@ BEHAVIORS = (
     "withhold_payload",
     "delay_send",
     "slow-link",
+    "bad-vote",
 )
 
 #: The single Byzantine/faulty replica.  Replica 1 leads epoch 1 under
@@ -186,6 +187,13 @@ def build_config(scenario: Scenario) -> ExperimentConfig:
         pconf = pconf.with_(
             guard_enabled=True, guard_probe_interval=GUARD_PROBE_INTERVAL
         )
+    elif scenario.behavior == "bad-vote":
+        # The corrupted-flood scenario runs with the lazy batched
+        # verifier *and* aggregate certificates on: bisection must
+        # attribute and exclude the bad voter, and the certificates the
+        # honest quorum still forms ride the aggregate wire format.
+        faults = ((FAULTY_ID, "bad-vote"),)
+        pconf = pconf.with_(crypto_batch=True, crypto_aggregate=True)
     else:
         faults = ((FAULTY_ID, scenario.behavior),)
     return ExperimentConfig(
@@ -232,7 +240,7 @@ def default_grid(
 ) -> List[Scenario]:
     """The sweep grid, seed-major within each combo.
 
-    The defaults give 2 × 7 × 3 × 7 = 294 scenarios, clearing the
+    The defaults give 2 × 8 × 3 × 7 = 336 scenarios, clearing the
     200-scenario acceptance floor.
     """
     grid = []

@@ -55,6 +55,15 @@ class ProtocolConfig:
             the payload matching the header digest arrived (E10).
         signature_scheme: "hashsig" (fast, simulation-grade) or "schnorr"
             (real transferable signatures; slower).
+        crypto_batch: verify vote floods lazily in one scheme-level batch
+            check at quorum time instead of eagerly per vote, with
+            bisection attribution (and exclusion) of bad signatures when
+            the batch fails.  Off by default: the eager per-vote path is
+            kept byte-identical for the golden trace fingerprint.
+        crypto_aggregate: form certificates as the aggregate wire
+            variants (one aggregate signature + signer bitmap) instead of
+            f+1 raw signatures — smaller certificate messages, single
+            aggregate verification.  Off by default (golden fingerprint).
         checkpoint_interval: every K committed blocks, sign a checkpoint
             over (height, cumulative ledger digest); f+1 matching
             signatures form a checkpoint certificate that lets the block
@@ -105,6 +114,8 @@ class ProtocolConfig:
     relay_headers: bool = True
     vote_requires_payload: bool = True
     signature_scheme: str = "hashsig"
+    crypto_batch: bool = False
+    crypto_aggregate: bool = False
     checkpoint_interval: int = 0
     catchup_retry: float = 0.25
     guard_enabled: bool = False

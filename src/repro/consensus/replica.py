@@ -17,7 +17,19 @@ from ..errors import VerificationError
 from ..mempool.mempool import Mempool
 from ..obs.recorder import SpanRecorder
 from ..types.block import Block, BlockHeader
-from ..types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote, is_genesis_qc
+from ..types.certificates import (
+    VOTE_DOMAIN,
+    AggregateBlameCertificate,
+    AggregateQuorumCertificate,
+    AnyBlameCert,
+    AnyQuorumCert,
+    Blame,
+    BlameCertificate,
+    QuorumCertificate,
+    Vote,
+    is_genesis_qc,
+    vote_signing_bytes,
+)
 from ..types.messages import proposal_signing_bytes, PROPOSAL_DOMAIN
 from .blockstore import BlockStore
 from .context import Context
@@ -86,10 +98,15 @@ class BaseReplica:
         self._timer_methods: Dict[str, Callable[[Any], None]] = {}
         # Vote accounting: (phase, epoch, block_hash) → {voter → Vote}.
         self._votes: Dict[Tuple[int, int, Digest], Dict[int, Vote]] = {}
-        self._qcs: Dict[Tuple[int, int, Digest], QuorumCertificate] = {}
+        self._qcs: Dict[Tuple[int, int, Digest], AnyQuorumCert] = {}
         # Blame accounting: epoch → {blamer → Blame}.
         self._blames: Dict[int, Dict[int, Blame]] = {}
-        self._blame_certs: Dict[int, BlameCertificate] = {}
+        self._blame_certs: Dict[int, AnyBlameCert] = {}
+        # Voters attributed a bad signature by batch bisection
+        # (crypto_batch only).  Their future votes are dropped outright,
+        # so one Byzantine signer cannot re-trigger the bisection on
+        # every flood.
+        self._excluded_voters: Set[int] = set()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -201,41 +218,88 @@ class BaseReplica:
 
     # -- vote accounting -----------------------------------------------------------
 
-    def record_vote(self, vote: Vote) -> Optional[QuorumCertificate]:
+    def record_vote(self, vote: Vote) -> Optional[AnyQuorumCert]:
         """Validate and store a vote; returns a fresh QC exactly once.
 
         The returned certificate is produced the moment the quorum is
         reached; later duplicate votes return None.
+
+        With ``crypto_batch`` enabled, signature checking is deferred:
+        votes are bucketed unverified and the whole flood is checked in
+        one scheme-level batch at quorum time — one multi-exponentiation
+        under schnorr instead of f+1 scalar pairs.  A failing batch is
+        bisected to the exact bad signatures; those voters are excluded
+        (and traced for blame) and the quorum waits for honest votes.
         """
         if vote.protocol != self.protocol_name:
             raise VerificationError("vote for a different protocol")
         if not self.validators.is_valid_replica(vote.voter):
             raise VerificationError(f"vote from unknown replica {vote.voter}")
-        if not vote.verify(self.signer):
+        lazy = self.config.crypto_batch
+        if lazy:
+            if vote.voter in self._excluded_voters:
+                return None
+        elif not vote.verify(self.signer):
             raise VerificationError(f"bad vote signature from {vote.voter}")
         key = (vote.phase, vote.epoch, vote.block_hash)
         bucket = self._votes.setdefault(key, {})
         if vote.voter in bucket:
             return None
         bucket[vote.voter] = vote
-        if len(bucket) == self.validators.quorum and key not in self._qcs:
-            qc = QuorumCertificate.from_votes(tuple(bucket.values()))
-            self._qcs[key] = qc
-            return qc
-        return None
+        quorum = self.validators.quorum
+        if len(bucket) < quorum or key in self._qcs:
+            return None
+        if lazy and not self._batch_check_bucket(vote, bucket):
+            return None  # bad votes excluded; quorum no longer met
+        qc = self._make_qc(tuple(bucket.values()))
+        self._qcs[key] = qc
+        return qc
 
-    def qc_for(self, phase: int, epoch: int, block_hash: Digest) -> Optional[QuorumCertificate]:
+    def _batch_check_bucket(self, vote: Vote, bucket: Dict[int, Vote]) -> bool:
+        """Batch-verify a quorum bucket; excise and attribute bad votes.
+
+        Returns True when the (possibly pruned) bucket still holds a
+        quorum of batch-verified votes.
+        """
+        message = vote_signing_bytes(
+            vote.protocol, vote.phase, vote.epoch, vote.height, vote.block_hash
+        )
+        pairs = [(v.voter, v.signature) for v in bucket.values()]
+        if self.signer.batch_verify_digest(VOTE_DOMAIN, message, pairs):
+            return True
+        for index in self.signer.find_invalid_digest(VOTE_DOMAIN, message, pairs):
+            voter = pairs[index][0]
+            del bucket[voter]
+            self._excluded_voters.add(voter)
+            self.trace("bad_vote_attributed", voter=voter, epoch=vote.epoch, phase=vote.phase)
+        return len(bucket) >= self.validators.quorum
+
+    def _make_qc(self, votes: Tuple[Vote, ...]) -> AnyQuorumCert:
+        if self.config.crypto_aggregate:
+            return AggregateQuorumCertificate.from_votes(votes, self.signer)
+        return QuorumCertificate.from_votes(votes)
+
+    def qc_for(self, phase: int, epoch: int, block_hash: Digest) -> Optional[AnyQuorumCert]:
         return self._qcs.get((phase, epoch, block_hash))
 
-    def verify_qc(self, qc: QuorumCertificate) -> bool:
-        """Verify a received certificate (genesis QC is valid by fiat)."""
+    def verify_qc(self, qc: AnyQuorumCert) -> bool:
+        """Verify a received certificate (genesis QC is valid by fiat).
+
+        Accepts both wire forms.  For the aggregate form, the signer
+        bitmap is first checked against cluster membership — a bitmap
+        naming a non-member is rejected before any key lookup.
+        """
         if is_genesis_qc(qc):
             return qc.block_hash == self.store.genesis.block_hash
+        if isinstance(qc, AggregateQuorumCertificate) and not self.validators.covers_bits(
+            qc.signer_bits
+        ):
+            return False
         return qc.protocol == self.protocol_name and qc.verify(self.signer, self.validators.quorum)
 
     # -- blame accounting ------------------------------------------------------------
 
-    def record_blame(self, blame: Blame) -> Optional[BlameCertificate]:
+    def record_blame(self, blame: Blame) -> Optional[AnyBlameCert]:
         """Validate and store a blame; returns a fresh cert exactly once."""
         if blame.protocol != self.protocol_name:
             raise VerificationError("blame for a different protocol")
@@ -248,12 +312,20 @@ class BaseReplica:
             return None
         bucket[blame.blamer] = blame
         if len(bucket) == self.validators.quorum and blame.epoch not in self._blame_certs:
-            cert = BlameCertificate.from_blames(tuple(bucket.values()))
+            blames = tuple(bucket.values())
+            if self.config.crypto_aggregate:
+                cert: AnyBlameCert = AggregateBlameCertificate.from_blames(blames, self.signer)
+            else:
+                cert = BlameCertificate.from_blames(blames)
             self._blame_certs[blame.epoch] = cert
             return cert
         return None
 
-    def verify_blame_cert(self, cert: BlameCertificate) -> bool:
+    def verify_blame_cert(self, cert: AnyBlameCert) -> bool:
+        if isinstance(cert, AggregateBlameCertificate) and not self.validators.covers_bits(
+            cert.signer_bits
+        ):
+            return False
         return cert.protocol == self.protocol_name and cert.verify(
             self.signer, self.validators.quorum
         )

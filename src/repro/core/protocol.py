@@ -79,7 +79,15 @@ from ..obs.recorder import (
 )
 from ..recovery.wal import WalEpochRecord
 from ..types.block import BlockHeader, BlockPayload, make_block
-from ..types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote, genesis_qc
+from ..types.certificates import (
+    AggregateQuorumCertificate,
+    AnyBlameCert,
+    AnyQuorumCert,
+    Blame,
+    QuorumCertificate,
+    Vote,
+    genesis_qc,
+)
 from ..types.messages import (
     BlameCertMsg,
     BlameMsg,
@@ -155,7 +163,7 @@ class AlterBFTReplica(BaseReplica):
         super().__init__(replica_id, validators, config, signer, mempool)
         self.epoch = 1
         self.state = ACTIVE
-        self.high_qc: QuorumCertificate = genesis_qc(
+        self.high_qc: AnyQuorumCert = genesis_qc(
             self.protocol_name, self.store.genesis.block_hash
         )
         self.pacemaker: Optional[Pacemaker] = None
@@ -176,15 +184,15 @@ class AlterBFTReplica(BaseReplica):
         self._last_voted: Dict[int, Tuple[int, Digest]] = {}
         # Commit windows that elapsed cleanly, awaiting QC/payloads.
         self._window_clean: Set[Tuple[int, Digest]] = set()
-        self._justify_of: Dict[Digest, QuorumCertificate] = {}
+        self._justify_of: Dict[Digest, AnyQuorumCert] = {}
         # Epoch change.
         self._blamed_epochs: Set[int] = set()
         self._processed_blame_certs: Set[int] = set()
         # Blame certificates received while RECOVERING, replayed on rejoin.
-        self._pending_blame_certs: List[BlameCertificate] = []
+        self._pending_blame_certs: List[AnyBlameCert] = []
         # Processed certificates by epoch, kept to unstick stragglers
         # that blame an epoch the cluster already abandoned.
-        self._blame_cert_log: Dict[int, BlameCertificate] = {}
+        self._blame_cert_log: Dict[int, AnyBlameCert] = {}
         self._proposed_in_epoch = False
         # Leader pipeline: hash of the tip proposal awaiting certification.
         self._awaiting_qc: Optional[Digest] = None
@@ -608,7 +616,7 @@ class AlterBFTReplica(BaseReplica):
             self._awaiting_qc = None
             self._propose_block()
 
-    def _update_high_qc(self, qc: QuorumCertificate) -> None:
+    def _update_high_qc(self, qc: AnyQuorumCert) -> None:
         if qc.rank > self.high_qc.rank:
             self.high_qc = qc
             if self.wal is not None:
@@ -810,7 +818,7 @@ class AlterBFTReplica(BaseReplica):
             raise VerificationError("invalid blame certificate")
         self._handle_blame_cert(msg.cert)
 
-    def _handle_blame_cert(self, cert: BlameCertificate) -> None:
+    def _handle_blame_cert(self, cert: AnyBlameCert) -> None:
         if cert.epoch in self._processed_blame_certs or cert.epoch < self.epoch:
             return
         if self.state == RECOVERING:
@@ -1020,7 +1028,7 @@ class AlterBFTReplica(BaseReplica):
                 if record.epoch > max_epoch:
                     max_epoch = record.epoch
                     entry_rank = None
-            elif isinstance(record, QuorumCertificate):
+            elif isinstance(record, (QuorumCertificate, AggregateQuorumCertificate)):
                 if record.rank > self.high_qc.rank:
                     self.high_qc = record
             elif isinstance(record, WalEpochRecord):

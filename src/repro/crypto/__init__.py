@@ -1,5 +1,7 @@
 """Cryptographic primitives: hashing, signatures, Merkle trees, keys."""
 
+from .aggregate import schnorr_aggregate, schnorr_verify_aggregate
+from .batch import find_invalid, multi_scalar_mul, schnorr_batch_verify
 from .hashing import DIGEST_SIZE, ZERO_DIGEST, Digest, domain_hash, sha256, sha256_many, short_hex
 from .keystore import build_cluster_keys, make_scheme
 from .merkle import MerkleProof, MerkleTree, merkle_root, verify_proof
@@ -28,6 +30,11 @@ __all__ = [
     "merkle_root",
     "verify_proof",
     "SchnorrSignatureScheme",
+    "schnorr_aggregate",
+    "schnorr_verify_aggregate",
+    "find_invalid",
+    "multi_scalar_mul",
+    "schnorr_batch_verify",
     "SIGNATURE_SIZE",
     "HashSignatureScheme",
     "KeyPair",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import CryptoError
 from .signatures import SIGNATURE_SIZE, KeyPair, SignatureScheme
@@ -197,3 +197,30 @@ class SchnorrSignatureScheme(SignatureScheme):
         lhs = point_mul(sig.s)
         rhs = point_add(sig.r_point, point_mul(e, public_point))
         return lhs == rhs
+
+    # The batch/aggregate modules import this module for the curve
+    # constants, so they are imported lazily here to break the cycle.
+
+    def batch_verify(self, items: Sequence[Tuple[bytes, bytes, bytes]]) -> bool:
+        from .batch import schnorr_batch_verify
+
+        return schnorr_batch_verify(items)
+
+    def find_invalid(self, items: Sequence[Tuple[bytes, bytes, bytes]]) -> List[int]:
+        from .batch import find_invalid
+
+        return find_invalid(items)
+
+    def aggregate(
+        self, publics: Sequence[bytes], message: bytes, signatures: Sequence[bytes]
+    ) -> bytes:
+        from .aggregate import schnorr_aggregate
+
+        return schnorr_aggregate(publics, message, signatures)
+
+    def verify_aggregate(
+        self, publics: Sequence[bytes], message: bytes, aggregate: bytes
+    ) -> bool:
+        from .aggregate import schnorr_verify_aggregate
+
+        return schnorr_verify_aggregate(publics, message, aggregate)

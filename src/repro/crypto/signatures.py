@@ -27,7 +27,7 @@ import hashlib
 import hmac
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from functools import lru_cache
 
@@ -64,6 +64,14 @@ class SignatureScheme:
 
     Methods operate on raw bytes; callers are responsible for domain
     separation (see :func:`repro.crypto.hashing.domain_hash`).
+
+    Beyond single-signature sign/verify, every scheme exposes a *batch*
+    surface (:meth:`batch_verify` / :meth:`find_invalid`) and an
+    *aggregation* surface (:meth:`aggregate` / :meth:`verify_aggregate`).
+    The base class supplies serial reference implementations, so a scheme
+    only overrides what it can accelerate: Schnorr batches floods into
+    one multi-exponentiation and half-aggregates certificate signatures;
+    hashsig collapses a certificate to a single combined-key MAC.
     """
 
     name = "abstract"
@@ -79,6 +87,46 @@ class SignatureScheme:
     def verify(self, public: bytes, message: bytes, signature: bytes) -> bool:
         """Return True iff ``signature`` is valid for ``message``."""
         raise NotImplementedError
+
+    # -- batch verification ---------------------------------------------------
+
+    def batch_verify(self, items: Sequence[Tuple[bytes, bytes, bytes]]) -> bool:
+        """True iff every ``(public, message, signature)`` triple verifies.
+
+        Reference implementation: serial short-circuiting verification —
+        behaviorally identical to ``all(verify(...))``, so a scheme-level
+        batch override must agree with it on every input (the
+        property-based battery in ``tests/test_crypto_batch.py`` pins
+        this equivalence).
+        """
+        return all(self.verify(p, m, s) for p, m, s in items)
+
+    def find_invalid(self, items: Sequence[Tuple[bytes, bytes, bytes]]) -> List[int]:
+        """Indices of the invalid triples (exact attribution, no more).
+
+        Reference implementation: linear scan.  Schemes with a cheap
+        batch check override this with bisection.
+        """
+        return [i for i, (p, m, s) in enumerate(items) if not self.verify(p, m, s)]
+
+    # -- aggregation ----------------------------------------------------------
+
+    def aggregate(
+        self, publics: Sequence[bytes], message: bytes, signatures: Sequence[bytes]
+    ) -> bytes:
+        """Combine per-signer signatures over one ``message`` into one blob.
+
+        Inputs are parallel sequences in canonical signer order.  Callers
+        must have verified the individual signatures first: aggregation
+        is a compression step, not a validity filter.
+        """
+        raise CryptoError(f"scheme {self.name!r} does not support aggregation")
+
+    def verify_aggregate(
+        self, publics: Sequence[bytes], message: bytes, aggregate: bytes
+    ) -> bool:
+        """Check an :meth:`aggregate` blob against its signer set."""
+        raise CryptoError(f"scheme {self.name!r} does not support aggregation")
 
 
 class KeyRegistry:
@@ -153,6 +201,7 @@ class HashSignatureScheme(SignatureScheme):
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self._agg_secret_cache: Dict[Tuple[bytes, ...], bytes] = {}
 
     def keygen(self, seed: bytes) -> KeyPair:
         secret = sha256(b"hashsig-secret" + seed)
@@ -197,6 +246,58 @@ class HashSignatureScheme(SignatureScheme):
             return None
         return self.registry._secret_key(replica_id)
 
+    # -- aggregation ----------------------------------------------------------
+    #
+    # The hashsig aggregate of a signer set is a single MAC under a
+    # *combined* secret derived from every member's secret key:
+    #
+    #     aggregate = HMAC(H("hashsig-agg" || secret_1 || ... || secret_q), m)
+    #
+    # Consistent with the scheme's trust model (verification already
+    # requires the verifier to know the signers' secrets through the
+    # shared registry), and unforgeable against the simulated adversary,
+    # who never reads honest registry entries.  32 bytes regardless of
+    # quorum size — the maximal version of the message-size saving the
+    # real half-aggregated Schnorr variant provides — and one HMAC to
+    # verify instead of f+1.
+
+    def _combined_secret(self, publics: Tuple[bytes, ...]) -> Optional[bytes]:
+        cached = self._agg_secret_cache.get(publics)
+        if cached is not None:
+            return cached
+        parts = []
+        for public in publics:
+            secret = self._secret_for_public(public)
+            if secret is None:
+                return None
+            parts.append(secret)
+        combined = sha256(b"hashsig-agg" + b"".join(parts))
+        if len(self._agg_secret_cache) >= 4096:
+            self._agg_secret_cache.clear()
+        self._agg_secret_cache[publics] = combined
+        return combined
+
+    def aggregate(
+        self, publics: Sequence[bytes], message: bytes, signatures: Sequence[bytes]
+    ) -> bytes:
+        if not publics or len(publics) != len(signatures):
+            raise CryptoError("aggregate needs one signature per public key")
+        combined = self._combined_secret(tuple(publics))
+        if combined is None:
+            raise CryptoError("aggregate includes an unregistered public key")
+        return hmac.new(combined, message, hashlib.sha256).digest()
+
+    def verify_aggregate(
+        self, publics: Sequence[bytes], message: bytes, aggregate: bytes
+    ) -> bool:
+        if not publics or len(aggregate) != 32:
+            return False
+        combined = self._combined_secret(tuple(publics))
+        if combined is None:
+            return False
+        expected = hmac.new(combined, message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, aggregate)
+
 
 class Signer:
     """Convenience wrapper binding a scheme, a registry, and one identity.
@@ -240,6 +341,80 @@ class Signer:
     def verify_digest(self, signer_id: int, domain: str, message: bytes, signature: bytes) -> bool:
         """Verify a signature produced by :meth:`digest_and_sign`."""
         return self.verify(signer_id, _domain_hash_cached(domain, message), signature)
+
+    def _resolve_publics(
+        self, signer_ids: Sequence[int]
+    ) -> Optional[List[bytes]]:
+        publics = []
+        for signer_id in signer_ids:
+            try:
+                publics.append(self.registry.public_key(signer_id))
+            except CryptoError:
+                return None
+        return publics
+
+    def batch_verify_digest(
+        self, domain: str, message: bytes, pairs: Sequence[Tuple[int, bytes]]
+    ) -> bool:
+        """Verify many ``(signer_id, signature)`` pairs over one digest.
+
+        One scheme-level batch check (a single multi-exponentiation for
+        schnorr) instead of ``len(pairs)`` independent verifications.  An
+        unknown signer id makes the whole batch invalid, as it would any
+        single :meth:`verify_digest` call.
+        """
+        digest = _domain_hash_cached(domain, message)
+        items = []
+        for signer_id, signature in pairs:
+            try:
+                public = self.registry.public_key(signer_id)
+            except CryptoError:
+                return False
+            items.append((public, digest, signature))
+        return self.scheme.batch_verify(items)
+
+    def find_invalid_digest(
+        self, domain: str, message: bytes, pairs: Sequence[Tuple[int, bytes]]
+    ) -> List[int]:
+        """Indices of the invalid ``(signer_id, signature)`` pairs.
+
+        Unknown signer ids are reported as invalid alongside signatures
+        the scheme's bisection attributes.
+        """
+        digest = _domain_hash_cached(domain, message)
+        unknown: List[int] = []
+        items = []
+        item_index = []
+        for idx, (signer_id, signature) in enumerate(pairs):
+            try:
+                public = self.registry.public_key(signer_id)
+            except CryptoError:
+                unknown.append(idx)
+                continue
+            items.append((public, digest, signature))
+            item_index.append(idx)
+        bad = [item_index[i] for i in self.scheme.find_invalid(items)]
+        return sorted(unknown + bad)
+
+    def aggregate_digest(
+        self, domain: str, message: bytes, pairs: Sequence[Tuple[int, bytes]]
+    ) -> bytes:
+        """Aggregate ``(signer_id, signature)`` pairs over one digest."""
+        digest = _domain_hash_cached(domain, message)
+        publics = self._resolve_publics([signer_id for signer_id, _ in pairs])
+        if publics is None:
+            raise CryptoError("aggregate includes an unknown signer id")
+        return self.scheme.aggregate(publics, digest, [sig for _, sig in pairs])
+
+    def verify_aggregate_digest(
+        self, signer_ids: Sequence[int], domain: str, message: bytes, aggregate: bytes
+    ) -> bool:
+        """Verify an aggregate produced by :meth:`aggregate_digest`."""
+        publics = self._resolve_publics(signer_ids)
+        if publics is None:
+            return False
+        digest = _domain_hash_cached(domain, message)
+        return self.scheme.verify_aggregate(publics, digest, aggregate)
 
 
 #: Quorum checks hash the same (domain, signing-bytes) pair once per

@@ -27,6 +27,12 @@ Available behaviors:
   payload, so withholding degenerates to suppressing proposal-class
   messages toward every peer (the cluster sees a mute leader and must
   change views).
+* ``bad-vote`` — Byzantine voter: every outbound vote carries a
+  corrupted (well-formed but invalid) signature.  Against an eager
+  verifier each vote is rejected on arrival; against the lazy batched
+  verifier (``ProtocolConfig.crypto_batch``) the whole flood fails its
+  batch check and bisection must attribute the corruption to this
+  replica, excluding it from future quorums.
 * ``delay_send`` — sends every message as late as the small-message bound
   allows (the strongest *model-respecting* timing adversary).
 * ``slow-link@t1:t2`` — gray failure: during ``[t1, t2)`` the replica's
@@ -128,6 +134,8 @@ def apply_behavior(
             _apply_withhold_proposals(replica, network)
         else:
             _apply_withhold_payload(replica)
+    elif name == "bad-vote":
+        _apply_bad_vote(replica)
     elif name == "delay_send":
         _apply_delay_send(replica, scheduler)
     elif name == "slow-link":
@@ -513,6 +521,59 @@ def _apply_delay_send(replica: BaseReplica, scheduler: Scheduler) -> None:
 
     def bind(ctx) -> None:  # type: ignore[no-untyped-def]
         original_bind(_DelayedContext(ctx))
+
+    replica.bind = bind  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------------
+# Bad votes in the flood
+# ----------------------------------------------------------------------
+
+
+def _apply_bad_vote(replica: BaseReplica) -> None:
+    """Byzantine voter: every outbound vote carries a corrupted signature.
+
+    The vote is otherwise well-formed (valid voter id, right length), so
+    an eager verifier rejects it one message at a time, while a lazy
+    batch verifier (``crypto_batch``) sees the whole flood fail and must
+    bisect to attribute the corruption — exactly the adversarial case the
+    bisection path exists for.
+    """
+    import dataclasses
+
+    original_bind = replica.bind
+
+    def corrupt(msg: object) -> object:
+        if isinstance(msg, VoteMsg):
+            vote = msg.vote
+            bad_sig = vote.signature[:-1] + bytes([vote.signature[-1] ^ 0x01])
+            return VoteMsg(vote=dataclasses.replace(vote, signature=bad_sig))
+        return msg
+
+    class _BadVoteContext:
+        def __init__(self, inner) -> None:  # type: ignore[no-untyped-def]
+            self._inner = inner
+            self.node_id = inner.node_id
+            self.n = inner.n
+
+        @property
+        def now(self) -> float:
+            return self._inner.now
+
+        def send(self, dst: int, msg: object) -> None:
+            self._inner.send(dst, corrupt(msg))
+
+        def broadcast(self, msg: object, include_self: bool = True) -> None:
+            self._inner.broadcast(corrupt(msg), include_self)
+
+        def set_timer(self, d: float, tag: str, payload=None):  # type: ignore[no-untyped-def]
+            return self._inner.set_timer(d, tag, payload)
+
+        def trace(self, kind: str, **detail) -> None:  # type: ignore[no-untyped-def]
+            self._inner.trace(kind, **detail)
+
+    def bind(ctx) -> None:  # type: ignore[no-untyped-def]
+        original_bind(_BadVoteContext(ctx))
 
     replica.bind = bind  # type: ignore[method-assign]
 

@@ -43,6 +43,8 @@ from ..obs.recorder import (
 )
 from ..types.certificates import (
     DeltaAdjust,
+    AggregateDeltaAdjustCertificate,
+    AnyDeltaAdjustCert,
     DeltaAdjustCertificate,
     GUARD_PROBE_DOMAIN,
     guard_probe_signing_bytes,
@@ -125,9 +127,9 @@ class SynchronyMonitor:
         # Own proposals, one per (seq, rung).
         self._proposed: Dict[Tuple[int, int], DeltaAdjust] = {}
         # Certificates by seq (formed locally or received).
-        self._certs: Dict[int, DeltaAdjustCertificate] = {}
+        self._certs: Dict[int, AnyDeltaAdjustCert] = {}
         #: Certificate awaiting its epoch-boundary install.
-        self.pending_cert: Optional[DeltaAdjustCertificate] = None
+        self.pending_cert: Optional[AnyDeltaAdjustCert] = None
 
     # -- derived state -----------------------------------------------------
 
@@ -328,7 +330,13 @@ class SynchronyMonitor:
             return
         bucket[adjust.proposer] = adjust
         if len(bucket) == replica.validators.quorum and adjust.seq not in self._certs:
-            cert = DeltaAdjustCertificate.from_adjusts(tuple(bucket.values()))
+            adjusts = tuple(bucket.values())
+            if replica.config.crypto_aggregate:
+                cert: AnyDeltaAdjustCert = AggregateDeltaAdjustCertificate.from_adjusts(
+                    adjusts, replica.signer
+                )
+            else:
+                cert = DeltaAdjustCertificate.from_adjusts(adjusts)
             self._certs[adjust.seq] = cert
             self._certify(cert)
 
@@ -337,6 +345,10 @@ class SynchronyMonitor:
         replica = self.replica
         if cert.protocol != replica.protocol_name:
             raise VerificationError("delta-adjust certificate for a different protocol")
+        if isinstance(
+            cert, AggregateDeltaAdjustCertificate
+        ) and not replica.validators.covers_bits(cert.signer_bits):
+            raise VerificationError("delta-adjust certificate names a non-member signer")
         if not cert.verify(replica.signer, replica.validators.quorum):
             raise VerificationError("invalid delta-adjust certificate")
         if cert.seq != self.installs or not 0 <= cert.rung <= self.max_rung:
@@ -348,7 +360,7 @@ class SynchronyMonitor:
             self._enter_suspicion(replica.now, reason="certificate")
         self._certify(cert)
 
-    def _certify(self, cert: DeltaAdjustCertificate) -> None:
+    def _certify(self, cert: AnyDeltaAdjustCert) -> None:
         """A certificate is in hand: schedule install, spread the word."""
         replica = self.replica
         self.pending_cert = cert

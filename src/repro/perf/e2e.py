@@ -28,22 +28,40 @@ from .timing import BenchResult, summarize
 
 @dataclass(frozen=True)
 class E2EConfig:
-    """One seeded end-to-end operating point."""
+    """One seeded end-to-end operating point.
+
+    ``overrides`` are extra :class:`repro.config.ProtocolConfig` fields
+    as a tuple of (name, value) pairs — a tuple, not a dict, so the
+    config stays frozen/hashable and picklable for worker processes.
+    """
 
     label: str
     rate: float
     f: int
     duration: float
     seed: int
+    overrides: Tuple[Tuple[str, object], ...] = ()
 
 
 #: The E3 operating points benchmarked end to end: the paper's main
 #: experiment sweeps offered load at f=1; the f=3 point exercises the
-#: n=7 quorum/certificate paths that dominate at larger clusters.
+#: n=7 quorum/certificate paths that dominate at larger clusters.  The
+#: ``_aggcrypto`` twin of the f=3 point runs the identical workload with
+#: lazy batched vote verification and aggregate certificates on, so a
+#: stored baseline exposes both the wall-clock and the wire-byte deltas
+#: of the crypto batching layer at the cert-heavy operating point.
 FULL_CONFIGS: Tuple[E2EConfig, ...] = (
     E2EConfig("e3_r2000_f1", rate=2000.0, f=1, duration=4.0, seed=3),
     E2EConfig("e3_r8000_f1", rate=8000.0, f=1, duration=4.0, seed=3),
     E2EConfig("e3_r2000_f3", rate=2000.0, f=3, duration=4.0, seed=3),
+    E2EConfig(
+        "e3_r2000_f3_aggcrypto",
+        rate=2000.0,
+        f=3,
+        duration=4.0,
+        seed=3,
+        overrides=(("crypto_batch", True), ("crypto_aggregate", True)),
+    ),
 )
 
 #: The fast (CI smoke) subset runs the same operating point as the full
@@ -62,6 +80,7 @@ def run_one(config: E2EConfig) -> Tuple[float, int, int, str, Trace]:
         rate=config.rate,
         duration=config.duration,
         seed=config.seed,
+        **dict(config.overrides),
     )
     t0 = time.perf_counter()
     cluster = build_cluster(cfg)
@@ -101,6 +120,7 @@ def bench_e2e(config: E2EConfig, reps: int) -> List[BenchResult]:
         "f": config.f,
         "duration": config.duration,
         "seed": config.seed,
+        **({"overrides": dict(config.overrides)} if config.overrides else {}),
         "events": events,
         "committed_txs": committed,
         "fingerprint": fingerprints[0],

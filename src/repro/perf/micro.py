@@ -22,7 +22,12 @@ from ..config import NetworkConfig
 from ..sim.rng import RngFactory
 from ..sim.scheduler import Scheduler
 from ..types.block import make_block, BlockPayload, genesis_block
-from ..types.certificates import Vote, genesis_qc
+from ..types.certificates import (
+    AggregateQuorumCertificate,
+    QuorumCertificate,
+    Vote,
+    genesis_qc,
+)
 from ..types.messages import ProposalHeaderMsg, VoteMsg
 from ..types.transaction import Transaction
 from .timing import BenchResult, measure
@@ -150,6 +155,78 @@ def bench_crypto(reps: int, inner: int) -> List[BenchResult]:
     ]
 
 
+#: Vote-flood sizes for the batch-vs-serial comparison: the f+1 quorums
+#: of n = 2f+1 clusters at f ∈ {2, 4, 8, 16}.
+BATCH_FLOOD_SIZES = (5, 9, 17, 33)
+
+#: Signer-set size for the certificate-level aggregate-vs-raw benches.
+CERT_QUORUM = 9
+
+
+def bench_crypto_batch(reps: int) -> List[BenchResult]:
+    """Schnorr batch/aggregate vs serial verification on the cert hot path.
+
+    The acceptance bar for the batching layer: batch verification of a
+    vote flood must beat ``n`` independent ``verify()`` calls by ≥2× at
+    quorum-sized floods, and verifying one aggregate signature must beat
+    verifying the f+1 raw signatures a certificate otherwise carries.
+    Schnorr is the scheme whose verify cost dominates (real elliptic-curve
+    arithmetic); reps are low because single ops are milliseconds.
+    """
+    from ..crypto.schnorr import SchnorrSignatureScheme
+
+    scheme = SchnorrSignatureScheme()
+    max_n = max(BATCH_FLOOD_SIZES)
+    pairs = [scheme.keygen(bytes([i, 0x5A])) for i in range(max_n)]
+    message = b"perf-batch-flood"
+    items = [(p.public, message, scheme.sign(p.secret, message)) for p in pairs]
+
+    results: List[BenchResult] = []
+    for size in BATCH_FLOOD_SIZES:
+        flood = items[:size]
+
+        def serial(flood=flood) -> None:
+            for public, msg, sig in flood:
+                scheme.verify(public, msg, sig)
+
+        def batch(flood=flood) -> None:
+            scheme.batch_verify(flood)
+
+        results.append(
+            measure(f"crypto.schnorr_verify_serial_n{size}", serial, reps, 1,
+                    scale=size, unit="s/sig", meta={"flood": size}))
+        results.append(
+            measure(f"crypto.schnorr_verify_batch_n{size}", batch, reps, 1,
+                    scale=size, unit="s/sig", meta={"flood": size}))
+
+    # Certificate-level: one aggregate signature vs f+1 raw signatures.
+    # _verify_uncached bypasses the per-object memo so every call does
+    # the cryptographic work the wire format implies.
+    signers = build_cluster_keys("schnorr", CERT_QUORUM)
+    votes = tuple(
+        Vote.create(signers[i], "alterbft", 3, 7, b"\x07" * 32)
+        for i in range(CERT_QUORUM)
+    )
+    raw_qc = QuorumCertificate.from_votes(votes)
+    agg_qc = AggregateQuorumCertificate.from_votes(votes, signers[0])
+    verifier = signers[0]
+    results.append(
+        measure(
+            "crypto.qc_verify_raw",
+            lambda: raw_qc._verify_uncached(verifier, CERT_QUORUM),
+            reps, 1,
+            meta={"quorum": CERT_QUORUM, "scheme": "schnorr",
+                  "wire_bytes": len(encode(raw_qc))}))
+    results.append(
+        measure(
+            "crypto.qc_verify_agg",
+            lambda: agg_qc._verify_uncached(verifier, CERT_QUORUM),
+            reps, 1,
+            meta={"quorum": CERT_QUORUM, "scheme": "schnorr",
+                  "wire_bytes": len(encode(agg_qc))}))
+    return results
+
+
 def bench_scheduler(reps: int, inner: int) -> List[BenchResult]:
     def push_pop() -> None:
         scheduler = Scheduler()
@@ -200,6 +277,9 @@ def run_micro(fast: bool) -> List[BenchResult]:
     results: List[BenchResult] = []
     results += bench_codec(reps, inner=200)
     results += bench_crypto(reps, inner=1000)
+    # Schnorr ops cost milliseconds each; 3 reps keep the full suite
+    # under a minute while the batch-vs-serial ratio stays stable.
+    results += bench_crypto_batch(reps=3)
     results += bench_scheduler(reps, inner=10000)
     results += bench_simnet(reps, inner=1000)
     return results

@@ -37,7 +37,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ..crypto.hashing import Digest, sha256
 from ..types.block import Block, BlockHeader
-from ..types.certificates import CheckpointCertificate, CheckpointVote
+from ..types.certificates import (
+    AggregateCheckpointCertificate,
+    AnyCheckpointCert,
+    CheckpointCertificate,
+    CheckpointVote,
+)
 from ..types.messages import (
     BlockRangeRequestMsg,
     BlockRangeResponseMsg,
@@ -73,7 +78,7 @@ class RecoveryManager:
         # liveness under withholding.
         self.retry_timeout = max(replica.config.catchup_retry, 3 * replica.config.delta)
         #: Highest checkpoint certificate known (served to rejoiners).
-        self.latest_cert: Optional[CheckpointCertificate] = None
+        self.latest_cert: Optional[AnyCheckpointCert] = None
         # Vote aggregation: (height, block_hash, digest) → voter → vote.
         self._cp_votes: Dict[Tuple[int, Digest, Digest], Dict[int, CheckpointVote]] = {}
         # Catchup state.
@@ -82,7 +87,7 @@ class RecoveryManager:
         self._providers: List[int] = []
         self._provider_idx = 0
         self._fetch_attempt = 0
-        self._target_cert: Optional[CheckpointCertificate] = None
+        self._target_cert: Optional[AnyCheckpointCert] = None
         self._target_height = 0
         self._join_epoch = 1
         #: Simulated time at which catchup finished and the ledger caught
@@ -154,10 +159,16 @@ class RecoveryManager:
             return
         bucket[vote.voter] = vote
         if len(bucket) == self._quorum:
-            cert = CheckpointCertificate.from_votes(tuple(bucket.values()))
+            votes = tuple(bucket.values())
+            if self.replica.config.crypto_aggregate:
+                cert: AnyCheckpointCert = AggregateCheckpointCertificate.from_votes(
+                    votes, self.replica.signer
+                )
+            else:
+                cert = CheckpointCertificate.from_votes(votes)
             self._record_cert(cert)
 
-    def _record_cert(self, cert: CheckpointCertificate) -> None:
+    def _record_cert(self, cert: AnyCheckpointCert) -> None:
         if self.latest_cert is not None and cert.height <= self.latest_cert.height:
             return
         self.latest_cert = cert
@@ -316,7 +327,11 @@ class RecoveryManager:
         else:
             self._enter_range_phase()
 
-    def _verify_cert(self, cert: CheckpointCertificate) -> bool:
+    def _verify_cert(self, cert: AnyCheckpointCert) -> bool:
+        if isinstance(
+            cert, AggregateCheckpointCertificate
+        ) and not self.replica.validators.covers_bits(cert.signer_bits):
+            return False
         return cert.protocol == self.replica.protocol_name and cert.verify(
             self.replica.signer, self._quorum
         )

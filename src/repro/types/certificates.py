@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Tuple
+from typing import Tuple, Union
 
 from ..codec import encode, register
 from ..crypto.hashing import Digest, short_hex
@@ -31,6 +31,32 @@ DELTA_ADJUST_DOMAIN = "delta-adjust"
 
 #: Signing domain for synchrony-guard probes (guard subsystem).
 GUARD_PROBE_DOMAIN = "guard-probe"
+
+
+def pack_signer_bits(signer_ids) -> int:
+    """Pack a collection of replica ids into a signer bitmap."""
+    bits = 0
+    for signer_id in signer_ids:
+        bits |= 1 << signer_id
+    return bits
+
+
+def unpack_signer_bits(bits: int) -> Tuple[int, ...]:
+    """Unpack a signer bitmap into sorted replica ids.
+
+    A negative bitmap is malformed (the right shift below would never
+    terminate on one) and unpacks to the empty set.
+    """
+    if bits < 0:
+        return ()
+    ids = []
+    index = 0
+    while bits:
+        if bits & 1:
+            ids.append(index)
+        bits >>= 1
+        index += 1
+    return tuple(ids)
 
 
 @lru_cache(maxsize=8192)
@@ -144,6 +170,16 @@ class QuorumCertificate:
         """Ordering key: (epoch, height)."""
         return (self.epoch, self.height)
 
+    @property
+    def signer_count(self) -> int:
+        """Number of distinct signers backing this certificate."""
+        return len(self.votes)
+
+    @property
+    def signer_ids(self) -> Tuple[int, ...]:
+        """Sorted replica ids of the signers."""
+        return tuple(voter for voter, _ in self.votes)
+
     @staticmethod
     def from_votes(votes: Tuple[Vote, ...]) -> "QuorumCertificate":
         """Aggregate votes (which must agree on all vote fields)."""
@@ -186,9 +222,7 @@ class QuorumCertificate:
         if len(set(voters)) != len(voters) or len(voters) < quorum:
             return False
         message = vote_signing_bytes(self.protocol, self.phase, self.epoch, self.height, self.block_hash)
-        return all(
-            signer.verify_digest(voter, VOTE_DOMAIN, message, sig) for voter, sig in self.votes
-        )
+        return signer.batch_verify_digest(VOTE_DOMAIN, message, self.votes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -208,9 +242,9 @@ def genesis_qc(protocol: str, block_hash: Digest) -> QuorumCertificate:
     )
 
 
-def is_genesis_qc(qc: QuorumCertificate) -> bool:
+def is_genesis_qc(qc: "AnyQuorumCert") -> bool:
     """True for the distinguished genesis certificate."""
-    return qc.epoch == 0 and qc.height == 0 and not qc.votes
+    return qc.epoch == 0 and qc.height == 0 and qc.signer_count == 0
 
 
 @register(16)
@@ -254,6 +288,14 @@ class BlameCertificate:
         pairs = tuple(sorted((b.blamer, b.signature) for b in blames))
         return BlameCertificate(protocol=first.protocol, epoch=first.epoch, blames=pairs)
 
+    @property
+    def signer_count(self) -> int:
+        return len(self.blames)
+
+    @property
+    def signer_ids(self) -> Tuple[int, ...]:
+        return tuple(blamer for blamer, _ in self.blames)
+
     def verify(self, signer: Signer, quorum: int) -> bool:
         memo = self.__dict__.get("_verify_memo")
         if (
@@ -272,10 +314,7 @@ class BlameCertificate:
         if len(set(blamers)) != len(blamers) or len(blamers) < quorum:
             return False
         message = blame_signing_bytes(self.protocol, self.epoch)
-        return all(
-            signer.verify_digest(blamer, BLAME_DOMAIN, message, sig)
-            for blamer, sig in self.blames
-        )
+        return signer.batch_verify_digest(BLAME_DOMAIN, message, self.blames)
 
 
 @lru_cache(maxsize=1024)
@@ -375,6 +414,14 @@ class CheckpointCertificate:
             votes=pairs,
         )
 
+    @property
+    def signer_count(self) -> int:
+        return len(self.votes)
+
+    @property
+    def signer_ids(self) -> Tuple[int, ...]:
+        return tuple(voter for voter, _ in self.votes)
+
     def verify(self, signer: Signer, quorum: int) -> bool:
         memo = self.__dict__.get("_verify_memo")
         if (
@@ -393,10 +440,7 @@ class CheckpointCertificate:
         if len(set(voters)) != len(voters) or len(voters) < quorum:
             return False
         message = checkpoint_signing_bytes(self.protocol, self.height, self.block_hash, self.state_digest)
-        return all(
-            signer.verify_digest(voter, CHECKPOINT_DOMAIN, message, sig)
-            for voter, sig in self.votes
-        )
+        return signer.batch_verify_digest(CHECKPOINT_DOMAIN, message, self.votes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -503,6 +547,14 @@ class DeltaAdjustCertificate:
             protocol=first.protocol, seq=first.seq, rung=first.rung, adjusts=pairs
         )
 
+    @property
+    def signer_count(self) -> int:
+        return len(self.adjusts)
+
+    @property
+    def signer_ids(self) -> Tuple[int, ...]:
+        return tuple(proposer for proposer, _ in self.adjusts)
+
     def verify(self, signer: Signer, quorum: int) -> bool:
         memo = self.__dict__.get("_verify_memo")
         if (
@@ -521,13 +573,306 @@ class DeltaAdjustCertificate:
         if len(set(proposers)) != len(proposers) or len(proposers) < quorum:
             return False
         message = delta_adjust_signing_bytes(self.protocol, self.seq, self.rung)
-        return all(
-            signer.verify_digest(proposer, DELTA_ADJUST_DOMAIN, message, sig)
-            for proposer, sig in self.adjusts
-        )
+        return signer.batch_verify_digest(DELTA_ADJUST_DOMAIN, message, self.adjusts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DeltaAdjustCert({self.protocol} seq={self.seq} rung={self.rung} "
             f"x{len(self.adjusts)})"
         )
+
+
+# -- aggregate certificate variants -------------------------------------------
+#
+# Each of the four certificates above has an aggregate twin carrying one
+# aggregate signature plus a signer bitmap instead of f+1 raw (id, sig)
+# pairs — the same proof, in a smaller message (the quantity AlterBFT's
+# synchrony bet is calibrated against).  The aggregate variants are
+# separate codec-registered wire types: a replica built with
+# ``crypto_aggregate`` disabled never emits (or even constructs) one, so
+# the default wire traffic is byte-identical to the pre-aggregation
+# format.  Verification duck-types with the plain certificates —
+# ``rank`` / ``signer_count`` / ``signer_ids`` / ``verify(signer,
+# quorum)`` — so chain logic handles either form without branching.
+#
+# Rogue-key safety lives in the scheme (see ``crypto/aggregate.py``):
+# per-signer challenges bind each public key individually, so a key
+# registered as a function of honest keys gains nothing.  On top of
+# that, the bitmap names the signer set explicitly and verification
+# resolves public keys through the shared registry — a certificate
+# cannot smuggle in an unregistered key at all.
+
+
+@register(120)
+@dataclass(frozen=True)
+class AggregateQuorumCertificate:
+    """A :class:`QuorumCertificate` carried as bitmap + aggregate signature."""
+
+    protocol: str
+    phase: int
+    epoch: int
+    height: int
+    block_hash: Digest
+    signer_bits: int
+    agg_signature: bytes
+
+    @property
+    def rank(self) -> Tuple[int, int]:
+        """Ordering key: (epoch, height)."""
+        return (self.epoch, self.height)
+
+    @property
+    def signer_count(self) -> int:
+        return bin(self.signer_bits).count("1")
+
+    @property
+    def signer_ids(self) -> Tuple[int, ...]:
+        return unpack_signer_bits(self.signer_bits)
+
+    @staticmethod
+    def from_votes(votes: Tuple[Vote, ...], signer: Signer) -> "AggregateQuorumCertificate":
+        """Aggregate verified votes (which must agree on all vote fields).
+
+        Needs a :class:`Signer` to resolve voter ids to public keys for
+        the aggregation transcript.  Callers verify votes *before*
+        aggregating — an invalid input signature yields an aggregate that
+        fails verification, losing the attribution a vote-level check
+        provides.
+        """
+        first = votes[0]
+        assert all(
+            (v.protocol, v.phase, v.epoch, v.height, v.block_hash)
+            == (first.protocol, first.phase, first.epoch, first.height, first.block_hash)
+            for v in votes
+        ), "cannot aggregate divergent votes"
+        pairs = sorted((v.voter, v.signature) for v in votes)
+        message = vote_signing_bytes(first.protocol, first.phase, first.epoch, first.height, first.block_hash)
+        return AggregateQuorumCertificate(
+            protocol=first.protocol,
+            phase=first.phase,
+            epoch=first.epoch,
+            height=first.height,
+            block_hash=first.block_hash,
+            signer_bits=pack_signer_bits(voter for voter, _ in pairs),
+            agg_signature=signer.aggregate_digest(VOTE_DOMAIN, message, pairs),
+        )
+
+    def verify(self, signer: Signer, quorum: int) -> bool:
+        """Check quorum size and the aggregate signature (memoized)."""
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+            and memo[2] == quorum
+        ):
+            return memo[3]
+        ok = self._verify_uncached(signer, quorum)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, quorum, ok))
+        return ok
+
+    def _verify_uncached(self, signer: Signer, quorum: int) -> bool:
+        signer_ids = self.signer_ids
+        if len(signer_ids) < quorum or self.signer_bits < 0:
+            return False
+        message = vote_signing_bytes(self.protocol, self.phase, self.epoch, self.height, self.block_hash)
+        return signer.verify_aggregate_digest(signer_ids, VOTE_DOMAIN, message, self.agg_signature)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AggQC({self.protocol}/p{self.phase} e={self.epoch} h={self.height} "
+            f"{short_hex(self.block_hash)} x{self.signer_count})"
+        )
+
+
+@register(121)
+@dataclass(frozen=True)
+class AggregateBlameCertificate:
+    """A :class:`BlameCertificate` carried as bitmap + aggregate signature."""
+
+    protocol: str
+    epoch: int
+    signer_bits: int
+    agg_signature: bytes
+
+    @property
+    def signer_count(self) -> int:
+        return bin(self.signer_bits).count("1")
+
+    @property
+    def signer_ids(self) -> Tuple[int, ...]:
+        return unpack_signer_bits(self.signer_bits)
+
+    @staticmethod
+    def from_blames(blames: Tuple[Blame, ...], signer: Signer) -> "AggregateBlameCertificate":
+        first = blames[0]
+        assert all((b.protocol, b.epoch) == (first.protocol, first.epoch) for b in blames)
+        pairs = sorted((b.blamer, b.signature) for b in blames)
+        message = blame_signing_bytes(first.protocol, first.epoch)
+        return AggregateBlameCertificate(
+            protocol=first.protocol,
+            epoch=first.epoch,
+            signer_bits=pack_signer_bits(blamer for blamer, _ in pairs),
+            agg_signature=signer.aggregate_digest(BLAME_DOMAIN, message, pairs),
+        )
+
+    def verify(self, signer: Signer, quorum: int) -> bool:
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+            and memo[2] == quorum
+        ):
+            return memo[3]
+        ok = self._verify_uncached(signer, quorum)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, quorum, ok))
+        return ok
+
+    def _verify_uncached(self, signer: Signer, quorum: int) -> bool:
+        signer_ids = self.signer_ids
+        if len(signer_ids) < quorum or self.signer_bits < 0:
+            return False
+        message = blame_signing_bytes(self.protocol, self.epoch)
+        return signer.verify_aggregate_digest(signer_ids, BLAME_DOMAIN, message, self.agg_signature)
+
+
+@register(122)
+@dataclass(frozen=True)
+class AggregateCheckpointCertificate:
+    """A :class:`CheckpointCertificate` carried as bitmap + aggregate signature."""
+
+    protocol: str
+    height: int
+    block_hash: Digest
+    state_digest: Digest
+    signer_bits: int
+    agg_signature: bytes
+
+    @property
+    def signer_count(self) -> int:
+        return bin(self.signer_bits).count("1")
+
+    @property
+    def signer_ids(self) -> Tuple[int, ...]:
+        return unpack_signer_bits(self.signer_bits)
+
+    @staticmethod
+    def from_votes(
+        votes: Tuple[CheckpointVote, ...], signer: Signer
+    ) -> "AggregateCheckpointCertificate":
+        first = votes[0]
+        assert all(
+            (v.protocol, v.height, v.block_hash, v.state_digest)
+            == (first.protocol, first.height, first.block_hash, first.state_digest)
+            for v in votes
+        ), "cannot aggregate divergent checkpoint votes"
+        pairs = sorted((v.voter, v.signature) for v in votes)
+        message = checkpoint_signing_bytes(first.protocol, first.height, first.block_hash, first.state_digest)
+        return AggregateCheckpointCertificate(
+            protocol=first.protocol,
+            height=first.height,
+            block_hash=first.block_hash,
+            state_digest=first.state_digest,
+            signer_bits=pack_signer_bits(voter for voter, _ in pairs),
+            agg_signature=signer.aggregate_digest(CHECKPOINT_DOMAIN, message, pairs),
+        )
+
+    def verify(self, signer: Signer, quorum: int) -> bool:
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+            and memo[2] == quorum
+        ):
+            return memo[3]
+        ok = self._verify_uncached(signer, quorum)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, quorum, ok))
+        return ok
+
+    def _verify_uncached(self, signer: Signer, quorum: int) -> bool:
+        signer_ids = self.signer_ids
+        if len(signer_ids) < quorum or self.signer_bits < 0:
+            return False
+        message = checkpoint_signing_bytes(self.protocol, self.height, self.block_hash, self.state_digest)
+        return signer.verify_aggregate_digest(signer_ids, CHECKPOINT_DOMAIN, message, self.agg_signature)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AggCheckpointCert({self.protocol} h={self.height} "
+            f"{short_hex(self.block_hash)} x{self.signer_count})"
+        )
+
+
+@register(123)
+@dataclass(frozen=True)
+class AggregateDeltaAdjustCertificate:
+    """A :class:`DeltaAdjustCertificate` carried as bitmap + aggregate signature."""
+
+    protocol: str
+    seq: int
+    rung: int
+    signer_bits: int
+    agg_signature: bytes
+
+    @property
+    def signer_count(self) -> int:
+        return bin(self.signer_bits).count("1")
+
+    @property
+    def signer_ids(self) -> Tuple[int, ...]:
+        return unpack_signer_bits(self.signer_bits)
+
+    @staticmethod
+    def from_adjusts(
+        adjusts: Tuple[DeltaAdjust, ...], signer: Signer
+    ) -> "AggregateDeltaAdjustCertificate":
+        first = adjusts[0]
+        assert all(
+            (a.protocol, a.seq, a.rung) == (first.protocol, first.seq, first.rung)
+            for a in adjusts
+        ), "cannot aggregate divergent delta adjustments"
+        pairs = sorted((a.proposer, a.signature) for a in adjusts)
+        message = delta_adjust_signing_bytes(first.protocol, first.seq, first.rung)
+        return AggregateDeltaAdjustCertificate(
+            protocol=first.protocol,
+            seq=first.seq,
+            rung=first.rung,
+            signer_bits=pack_signer_bits(proposer for proposer, _ in pairs),
+            agg_signature=signer.aggregate_digest(DELTA_ADJUST_DOMAIN, message, pairs),
+        )
+
+    def verify(self, signer: Signer, quorum: int) -> bool:
+        memo = self.__dict__.get("_verify_memo")
+        if (
+            memo is not None
+            and memo[0] is signer.scheme
+            and memo[1] is signer.registry
+            and memo[2] == quorum
+        ):
+            return memo[3]
+        ok = self._verify_uncached(signer, quorum)
+        object.__setattr__(self, "_verify_memo", (signer.scheme, signer.registry, quorum, ok))
+        return ok
+
+    def _verify_uncached(self, signer: Signer, quorum: int) -> bool:
+        signer_ids = self.signer_ids
+        if len(signer_ids) < quorum or self.signer_bits < 0:
+            return False
+        message = delta_adjust_signing_bytes(self.protocol, self.seq, self.rung)
+        return signer.verify_aggregate_digest(signer_ids, DELTA_ADJUST_DOMAIN, message, self.agg_signature)
+
+
+#: Either wire form of a quorum certificate; chain logic duck-types over
+#: ``rank`` / ``signer_count`` / ``signer_ids`` / ``verify``.
+AnyQuorumCert = Union[QuorumCertificate, AggregateQuorumCertificate]
+
+#: Either wire form of a blame certificate.
+AnyBlameCert = Union[BlameCertificate, AggregateBlameCertificate]
+
+#: Either wire form of a checkpoint certificate.
+AnyCheckpointCert = Union[CheckpointCertificate, AggregateCheckpointCertificate]
+
+#: Either wire form of a Δ-adjust certificate.
+AnyDeltaAdjustCert = Union[DeltaAdjustCertificate, AggregateDeltaAdjustCertificate]

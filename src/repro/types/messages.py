@@ -24,13 +24,13 @@ from ..codec import register
 from ..crypto.hashing import Digest
 from .block import Block, BlockHeader, BlockPayload
 from .certificates import (
+    AnyBlameCert,
+    AnyCheckpointCert,
+    AnyDeltaAdjustCert,
+    AnyQuorumCert,
     Blame,
-    BlameCertificate,
-    CheckpointCertificate,
     CheckpointVote,
     DeltaAdjust,
-    DeltaAdjustCertificate,
-    QuorumCertificate,
     Vote,
 )
 
@@ -61,7 +61,7 @@ class ProposalHeaderMsg:
 
     header: BlockHeader
     signature: bytes
-    justify: QuorumCertificate
+    justify: AnyQuorumCert
 
 
 @register(21)
@@ -96,7 +96,7 @@ class BlameMsg:
 class BlameCertMsg:
     """A blame certificate; receiving one forces an epoch change."""
 
-    cert: BlameCertificate
+    cert: AnyBlameCert
 
 
 @register(26)
@@ -124,7 +124,7 @@ class StatusMsg:
 
     sender: int
     new_epoch: int
-    high_qc: QuorumCertificate
+    high_qc: AnyQuorumCert
 
 
 @register(28)
@@ -212,8 +212,8 @@ class StatusResponseMsg:
     sender: int
     epoch: int
     ledger_height: int
-    checkpoint: Optional[CheckpointCertificate]
-    tip: QuorumCertificate
+    checkpoint: Optional[AnyCheckpointCert]
+    tip: AnyQuorumCert
 
 
 @register(35)
@@ -259,7 +259,7 @@ class BlockRangeResponseMsg:
     AlterBFT's temporal commit rule).
     """
 
-    justify: QuorumCertificate
+    justify: AnyQuorumCert
     blocks: Tuple[Block, ...]
     headers: Tuple[BlockHeader, ...]
 
@@ -280,7 +280,7 @@ class SHProposalMsg:
 
     block: Block
     signature: bytes
-    justify: QuorumCertificate
+    justify: AnyQuorumCert
 
 
 # --------------------------------------------------------------------------
@@ -295,7 +295,7 @@ class HSProposalMsg:
 
     block: Block
     signature: bytes
-    justify: QuorumCertificate
+    justify: AnyQuorumCert
 
 
 @register(61)
@@ -305,7 +305,7 @@ class HSNewViewMsg:
 
     sender: int
     view: int
-    high_qc: QuorumCertificate
+    high_qc: AnyQuorumCert
     signature: bytes
 
 
@@ -361,8 +361,8 @@ class PBFTViewChangeMsg:
     sender: int
     new_view: int
     last_committed: int
-    commit_proof: Optional[QuorumCertificate]
-    prepared: Tuple[Tuple[int, QuorumCertificate, Block], ...]
+    commit_proof: Optional[AnyQuorumCert]
+    prepared: Tuple[Tuple[int, AnyQuorumCert, Block], ...]
     signature: bytes
 
 
@@ -394,7 +394,7 @@ class PBFTSyncRequestMsg:
 class PBFTSyncReplyMsg:
     """State transfer reply: (block, commit certificate) pairs in order."""
 
-    entries: Tuple[Tuple[Block, QuorumCertificate], ...]
+    entries: Tuple[Tuple[Block, AnyQuorumCert], ...]
 
 
 # --------------------------------------------------------------------------
@@ -497,7 +497,7 @@ class DeltaAdjustCertMsg:
     """A gossiped Δ-adjustment certificate; receiving one schedules the
     new rung for installation at the next epoch boundary."""
 
-    cert: DeltaAdjustCertificate
+    cert: AnyDeltaAdjustCert
 
 
 def proposal_signing_bytes(block_hash: Digest) -> bytes:

@@ -275,7 +275,7 @@ class TestScenarios:
 
     def test_grid_includes_slow_link(self):
         grid = default_grid(seeds_per_combo=1)
-        assert len(grid) == 42  # 2 protocols x 7 behaviors x 3 profiles
+        assert len(grid) == 48  # 2 protocols x 8 behaviors x 3 profiles
         assert any(s.behavior == "slow-link" for s in grid)
 
     def test_slow_link_config_enables_guard(self):

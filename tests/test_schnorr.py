@@ -8,6 +8,7 @@ from repro.crypto.schnorr import (
     GX,
     GY,
     N,
+    P as P_FIELD,
     SchnorrSignature,
     SchnorrSignatureScheme,
     decode_point,
@@ -67,6 +68,37 @@ class TestPointEncoding:
         # x = 0 gives y^2 = 7, which has no square root mod p.
         with pytest.raises(CryptoError):
             decode_point(b"\x02" + (0).to_bytes(32, "big"))
+
+    def test_x_at_or_above_field_prime(self):
+        # x must be a canonical field element: p itself (≡ 0 mod p, but
+        # non-canonical) and anything above must be rejected, not reduced.
+        p = 2**256 - 2**32 - 977
+        for x in (p, p + 1, 2**256 - 1):
+            with pytest.raises(CryptoError):
+                decode_point(b"\x02" + x.to_bytes(32, "big"))
+
+    def test_empty_and_truncated(self):
+        with pytest.raises(CryptoError):
+            decode_point(b"")
+        with pytest.raises(CryptoError):
+            decode_point(b"\x02")
+
+    def test_uncompressed_prefix_rejected(self):
+        # Only compressed SEC1 (0x02/0x03) is wire-legal; the 0x04
+        # uncompressed marker must not slip through even at 33 bytes.
+        data = encode_point((GX, GY))
+        with pytest.raises(CryptoError):
+            decode_point(b"\x04" + data[1:])
+
+    def test_overlong_rejected(self):
+        with pytest.raises(CryptoError):
+            decode_point(encode_point((GX, GY)) + b"\x00")
+
+    def test_parity_prefix_selects_y(self):
+        x, y = point_mul(7)
+        even, odd = (y, P_FIELD - y) if y % 2 == 0 else (P_FIELD - y, y)
+        assert decode_point(b"\x02" + x.to_bytes(32, "big")) == (x, even)
+        assert decode_point(b"\x03" + x.to_bytes(32, "big")) == (x, odd)
 
 
 class TestScheme:

@@ -8,9 +8,21 @@ to a golden value.
 
 from __future__ import annotations
 
-from repro.codec import registered_type_id
+from repro.codec import decode, encode, registered_type_id
+from repro.crypto.keystore import build_cluster_keys
 from repro.types.block import Block, BlockHeader, BlockPayload, genesis_block
-from repro.types.certificates import Blame, BlameCertificate, QuorumCertificate, Vote
+from repro.types.certificates import (
+    AggregateBlameCertificate,
+    AggregateCheckpointCertificate,
+    AggregateDeltaAdjustCertificate,
+    AggregateQuorumCertificate,
+    Blame,
+    BlameCertificate,
+    CheckpointVote,
+    DeltaAdjust,
+    QuorumCertificate,
+    Vote,
+)
 from repro.types.messages import (
     BlameCertMsg,
     BlameMsg,
@@ -74,6 +86,10 @@ EXPECTED_IDS = {
     ProbeAckMsg: 101,
     ClientRequestMsg: 102,
     ClientReplyMsg: 103,
+    AggregateQuorumCertificate: 120,
+    AggregateBlameCertificate: 121,
+    AggregateCheckpointCertificate: 122,
+    AggregateDeltaAdjustCertificate: 123,
 }
 
 
@@ -113,3 +129,58 @@ def test_genesis_digest_golden():
     )
     if out.returncode == 0:  # subprocess may lack the venv; only then check
         assert out.stdout.strip() == digest
+
+
+class TestAggregateCertWire:
+    """Round-trip and size properties of the aggregate wire variants."""
+
+    def _agg_qc(self, n: int) -> AggregateQuorumCertificate:
+        signers = build_cluster_keys("schnorr", n)
+        votes = tuple(
+            Vote.create(signers[i], "alterbft", 2, 5, b"\x11" * 32) for i in range(n)
+        )
+        return AggregateQuorumCertificate.from_votes(votes, signers[0])
+
+    def test_aggregate_qc_roundtrip(self):
+        qc = self._agg_qc(5)
+        assert decode(encode(qc)) == qc
+
+    def test_aggregate_blame_cert_roundtrip(self):
+        signers = build_cluster_keys("schnorr", 3)
+        blames = tuple(Blame.create(s, "alterbft", 4) for s in signers)
+        cert = AggregateBlameCertificate.from_blames(blames, signers[0])
+        assert decode(encode(cert)) == cert
+        assert cert.verify(signers[1], quorum=2)
+
+    def test_aggregate_checkpoint_cert_roundtrip(self):
+        signers = build_cluster_keys("schnorr", 3)
+        votes = tuple(
+            CheckpointVote.create(s, "alterbft", 8, b"\x22" * 32, b"\x33" * 32)
+            for s in signers
+        )
+        cert = AggregateCheckpointCertificate.from_votes(votes, signers[0])
+        assert decode(encode(cert)) == cert
+        assert cert.verify(signers[1], quorum=2)
+
+    def test_aggregate_delta_adjust_cert_roundtrip(self):
+        signers = build_cluster_keys("schnorr", 3)
+        adjusts = tuple(DeltaAdjust.create(s, "alterbft", 1, 2) for s in signers)
+        cert = AggregateDeltaAdjustCertificate.from_adjusts(adjusts, signers[0])
+        assert decode(encode(cert)) == cert
+        assert cert.verify(signers[1], quorum=2)
+
+    def test_aggregate_qc_smaller_than_raw_on_wire(self):
+        """The point of aggregation: fewer certificate bytes at every
+        quorum size the sweep uses (and the gap widens with n)."""
+        previous_saving = 0
+        for n in (5, 9, 17):
+            signers = build_cluster_keys("schnorr", n)
+            votes = tuple(
+                Vote.create(signers[i], "alterbft", 2, 5, b"\x11" * 32)
+                for i in range(n)
+            )
+            raw = len(encode(QuorumCertificate.from_votes(votes)))
+            agg = len(encode(AggregateQuorumCertificate.from_votes(votes, signers[0])))
+            assert agg < raw, f"n={n}: aggregate {agg}B not smaller than raw {raw}B"
+            assert raw - agg > previous_saving
+            previous_saving = raw - agg
