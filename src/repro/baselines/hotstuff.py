@@ -31,7 +31,7 @@ from ..consensus.validators import ValidatorSet
 from ..config import ProtocolConfig
 from ..crypto.hashing import Digest
 from ..crypto.signatures import Signer
-from ..errors import BlockStoreError, VerificationError
+from ..errors import BlockStoreError, ConfigError, VerificationError
 from ..mempool.mempool import Mempool
 from ..obs.recorder import (
     EVENT_VIEW_TIMEOUT,
@@ -69,6 +69,11 @@ class HotStuffReplica(BaseReplica):
         mempool: Optional[Mempool] = None,
     ) -> None:
         super().__init__(replica_id, validators, config, signer, mempool)
+        if config.pipeline_depth > 1:
+            raise ConfigError(
+                "pipeline_depth > 1 is only supported by alterbft "
+                f"(got {config.pipeline_depth} for {self.protocol_name})"
+            )
         self.view = 1
         self.high_qc: AnyQuorumCert = genesis_qc(
             self.protocol_name, self.store.genesis.block_hash

@@ -35,7 +35,7 @@ from ..consensus.validators import ValidatorSet
 from ..config import ProtocolConfig
 from ..crypto.hashing import Digest
 from ..crypto.signatures import Signer
-from ..errors import VerificationError
+from ..errors import ConfigError, VerificationError
 from ..mempool.mempool import Mempool
 from ..obs.recorder import (
     EVENT_EPOCH_ENTER,
@@ -92,6 +92,11 @@ class PBFTReplica(BaseReplica):
         mempool: Optional[Mempool] = None,
     ) -> None:
         super().__init__(replica_id, validators, config, signer, mempool)
+        if config.pipeline_depth > 1:
+            raise ConfigError(
+                "pipeline_depth > 1 is only supported by alterbft "
+                f"(got {config.pipeline_depth} for {self.protocol_name})"
+            )
         self.view = 1
         self.in_view_change = False
         self.pacemaker: Optional[Pacemaker] = None

@@ -21,11 +21,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..core.protocol import ACTIVE as ACTIVE_STATE
 from ..core.protocol import AlterBFTReplica
 from ..types.block import make_block
 from ..crypto.hashing import Digest
-from ..errors import VerificationError
+from ..errors import ConfigError, VerificationError
 from ..obs.recorder import MARK_PAYLOAD, MARK_PROPOSE
 from ..types.messages import (
     BlameCertMsg,
@@ -80,17 +79,24 @@ class SyncHotStuffReplica(AlterBFTReplica):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        if self.config.pipeline_depth > 1:
+            # Only AlterBFT implements the chained leader; failing loudly
+            # beats silently running the baseline unpipelined.
+            raise ConfigError(
+                "pipeline_depth > 1 is only supported by alterbft "
+                f"(got {self.config.pipeline_depth} for {self.protocol_name})"
+            )
         # Full proposals by block hash, for relaying.
         self._full_proposals: Dict[Digest, SHProposalMsg] = {}
 
     # -- proposing ------------------------------------------------------------
 
-    def _propose_block(self, force: bool = False) -> None:
-        """Same block construction as AlterBFT, one combined message."""
-        if self.state != ACTIVE_STATE or not self.is_leader(self.epoch):
-            return
-        if not force and self.defer_if_idle(self.epoch):
-            return
+    def _emit_proposal(self) -> None:
+        """Same block construction as AlterBFT, one combined message.
+
+        ``pipeline_depth`` is pinned to 1 above, so the in-flight window
+        is empty whenever this runs and the tip is always ``high_qc``.
+        """
         justify = self.high_qc
         batch = self.mempool.take_batch(self.config.max_batch, self.config.max_payload_bytes)
         block = make_block(
@@ -103,7 +109,7 @@ class SyncHotStuffReplica(AlterBFTReplica):
         msg = SHProposalMsg(
             block=block, signature=self.sign_proposal(block.block_hash), justify=justify
         )
-        self._awaiting_qc = block.block_hash
+        self._inflight.append((block.height, block.block_hash))
         self._proposed_in_epoch = True
         self.trace("propose", epoch=self.epoch, height=block.height, txs=len(batch))
         if self.obs is not None:

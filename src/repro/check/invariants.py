@@ -20,6 +20,14 @@ invariants are the correctness claims the repository exists to test:
   bound, no honest replica commits *silently*: every in-window commit is
   either flagged at-risk or covered by a re-certified Δ large enough for
   the inflated delays (slow-link scenarios only).
+* **height-agreement** — across overlapping pipelined commit windows,
+  every commit *observation* (not just the final ledgers — pre-crash
+  commits and rejoin re-commits included) agrees per height across
+  honest replicas;
+* **certified-prefix** — each honest replica's commit stream only ever
+  extends its committed prefix: height h never commits before h−1,
+  re-commits carry the same hash, and every new commit links onto the
+  block committed below it.
 
 Checkers never mutate the cluster; they can run repeatedly and in any
 order.  A violation is reported as data, not an exception — the sweep
@@ -44,6 +52,8 @@ BOUNDED_GAP = "bounded-gap"
 RECOVERY = "recovery"
 GUARD_FLAGGING = "guard-flagging"
 BAD_VOTE_ATTRIBUTION = "bad-vote-attribution"
+HEIGHT_AGREEMENT = "height-agreement"
+CERTIFIED_PREFIX = "certified-prefix"
 
 
 @dataclass(frozen=True)
@@ -326,13 +336,109 @@ def check_bad_vote_attribution(cluster: "Cluster", faulty_id: int) -> InvariantR
     )
 
 
+def check_height_agreement(cluster: "Cluster") -> InvariantResult:
+    """Per-height agreement across overlapping pipelined commit windows.
+
+    Stronger than final-ledger agreement: it examines every commit
+    *observation* recorded during the run — pre-crash commits and rejoin
+    re-commits included — so a transient per-height disagreement that a
+    later restart papered over in the final ledgers still fails here.
+    With ``pipeline_depth > 1`` several 2Δ windows elapse concurrently
+    and in whatever order the scheduler serves them; whatever that order,
+    no height may ever be observed committed as two different blocks.
+    """
+    collector = cluster.collector
+    by_height: dict = {}
+    for replica_id in sorted(cluster.honest_ids):
+        for _t, height, block_hash, _parent in collector.commit_records_by_replica.get(
+            replica_id, []
+        ):
+            by_height.setdefault(height, {}).setdefault(block_hash, set()).add(replica_id)
+    for height in sorted(by_height):
+        variants = by_height[height]
+        if len(variants) > 1:
+            detail = ", ".join(
+                f"{short_hex(h)} by replicas {sorted(rids)}"
+                for h, rids in sorted(variants.items())
+            )
+            return InvariantResult(
+                HEIGHT_AGREEMENT, False, f"height {height} committed as {detail}"
+            )
+    return InvariantResult(HEIGHT_AGREEMENT, True, f"{len(by_height)} heights examined")
+
+
+def check_certified_prefix(cluster: "Cluster") -> InvariantResult:
+    """Each honest commit stream only ever *extends* its committed prefix.
+
+    Three claims per honest replica, over its commit observations in
+    order: height ``h`` never commits before ``h − 1`` has (prefix-commit
+    safety — the property the overlapping windows must not break); a
+    height observed twice (rejoin re-commit) carries the same hash both
+    times; and every first commit at ``h`` links by parent hash onto the
+    block committed at ``h − 1``.  A restarted replica may resume above a
+    silently installed catchup snapshot, so for rejoiners a stream gap is
+    accepted when the final ledger covers it.
+    """
+    collector = cluster.collector
+    replicas_by_id = {r.replica_id: r for r in cluster.replicas}
+    for replica_id in sorted(cluster.honest_ids):
+        replica = replicas_by_id[replica_id]
+        manager = getattr(replica, "recovery", None)
+        restarted = manager is not None and manager.restarts > 0
+        genesis_hash = replica.ledger.committed_hash_at(0)
+        seen: dict = {}
+        for _t, height, block_hash, parent in collector.commit_records_by_replica.get(
+            replica_id, []
+        ):
+            prev = seen.get(height)
+            if prev is not None:
+                if prev != block_hash:
+                    return InvariantResult(
+                        CERTIFIED_PREFIX,
+                        False,
+                        f"replica {replica_id}: height {height} re-committed as "
+                        f"{short_hex(block_hash)} after {short_hex(prev)}",
+                    )
+                continue
+            if height == 1:
+                below = genesis_hash
+            else:
+                below = seen.get(height - 1)
+                if below is None and restarted:
+                    # Catchup installs already-committed prefixes without
+                    # firing commit listeners; trust the final ledger for
+                    # the skipped region.
+                    below = replica.ledger.committed_hash_at(height - 1)
+            if below is None:
+                return InvariantResult(
+                    CERTIFIED_PREFIX,
+                    False,
+                    f"replica {replica_id}: committed height {height} before "
+                    f"height {height - 1}",
+                )
+            if parent != below:
+                return InvariantResult(
+                    CERTIFIED_PREFIX,
+                    False,
+                    f"replica {replica_id}: commit at height {height} does not "
+                    f"extend the block committed at height {height - 1}",
+                )
+            seen[height] = block_hash
+    return InvariantResult(CERTIFIED_PREFIX, True)
+
+
 def check_all(
     cluster: "Cluster",
     recovery_time: Optional[float] = None,
     gap_bound: Optional[float] = None,
 ) -> List[InvariantResult]:
     """Run every applicable invariant; liveness only when bounds are given."""
-    results = [check_agreement(cluster), check_certified_chain(cluster)]
+    results = [
+        check_agreement(cluster),
+        check_certified_chain(cluster),
+        check_height_agreement(cluster),
+        check_certified_prefix(cluster),
+    ]
     if recovery_time is not None and gap_bound is not None:
         results.append(check_bounded_gap(cluster, recovery_time, gap_bound))
     results.append(check_recovery(cluster))

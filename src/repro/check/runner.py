@@ -2,7 +2,9 @@
 
 ``python -m repro.check`` runs the default grid (336 scenarios across
 {AlterBFT, Sync HotStuff} × {fault behaviors} × {adversary profiles} ×
-seeds), expecting **zero** invariant violations, then demonstrates that
+seeds) plus the pipelined family (120 alterbft scenarios at pipeline
+depths 2 and 4, adding the cross-in-flight attacks), expecting **zero**
+invariant violations, then demonstrates that
 the harness detects real violations by re-running the E10 relay-off
 ablation until the agreement checker catches the fork — printing a seed
 and the exact replay command, and proving determinism by re-running the
@@ -37,6 +39,8 @@ from .scenarios import (
     FAULTY_ID,
     GUARD_GRACE,
     GUARD_SAFE_FACTOR,
+    PIPELINE_BEHAVIORS,
+    PIPELINE_DEPTHS,
     PROTOCOLS,
     RECOVERY_TIME,
     SLOWLINK_END,
@@ -47,6 +51,7 @@ from .scenarios import (
     e10_demo_scenario,
     liveness_gap_bound,
     parse_scenario_id,
+    pipelined_grid,
     replay_command,
 )
 
@@ -177,8 +182,8 @@ def _print_report(results: Sequence[ScenarioResult]) -> int:
     verdict = "PASS" if not failed else "FAIL"
     print(
         f"\n{verdict}: {len(results) - len(failed)}/{len(results)} scenarios satisfied "
-        "agreement, certified-chain, bounded-gap, recovery, guard-flagging, and "
-        "bad-vote-attribution invariants"
+        "agreement, certified-chain, height-agreement, certified-prefix, bounded-gap, "
+        "recovery, guard-flagging, and bad-vote-attribution invariants"
     )
     return len(failed)
 
@@ -211,10 +216,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--protocols", type=_csv, default=list(PROTOCOLS), help="comma-separated protocols"
     )
     parser.add_argument(
-        "--behaviors", type=_csv, default=list(BEHAVIORS), help="comma-separated behaviors"
+        "--behaviors",
+        type=_csv,
+        default=None,
+        help="comma-separated behaviors (default: every behavior each family knows)",
     )
     parser.add_argument(
         "--profiles", type=_csv, default=list(PROFILES), help="comma-separated adversary profiles"
+    )
+    parser.add_argument(
+        "--pipeline-seeds",
+        type=int,
+        default=2,
+        help="seeds per combo in the pipelined family (default 2 → 120 scenarios)",
+    )
+    parser.add_argument(
+        "--depths",
+        type=_csv,
+        default=[str(d) for d in PIPELINE_DEPTHS],
+        help="comma-separated pipeline depths for the pipelined family (default 2,4)",
+    )
+    parser.add_argument(
+        "--no-pipelined",
+        action="store_true",
+        help="skip the pipelined (depth > 1) scenario family",
+    )
+    parser.add_argument(
+        "--pipelined-only",
+        action="store_true",
+        help="run only the pipelined (depth > 1) scenario family",
     )
     parser.add_argument(
         "--replay", metavar="SCENARIO_ID", help="re-run one scenario and print its verdict"
@@ -246,27 +276,58 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_replay(args.replay)
 
     seeds = args.seeds
+    pipeline_seeds = args.pipeline_seeds
     profiles = args.profiles
     if args.smoke:
         seeds = min(seeds, 2)
+        pipeline_seeds = min(pipeline_seeds, 1)
         profiles = [p for p in profiles if p != "stall-large"]
     for protocol in args.protocols:
         if protocol not in protocol_names():
             raise ConfigError(
                 f"unknown protocol {protocol!r}; known: {protocol_names()}"
             )
-    for behavior in args.behaviors:
-        if behavior not in BEHAVIORS:
-            raise ConfigError(f"unknown behavior {behavior!r}; known: {BEHAVIORS}")
-    for profile in profiles:
-        if profile not in PROFILES:
-            raise ConfigError(f"unknown adversary profile {profile!r}; known: {PROFILES}")
-    grid = default_grid(
-        seeds_per_combo=seeds,
-        protocols=args.protocols,
-        behaviors=args.behaviors,
-        profiles=profiles,
-    )
+    behaviors = args.behaviors
+    if behaviors is not None:
+        for behavior in behaviors:
+            if behavior not in PIPELINE_BEHAVIORS:
+                raise ConfigError(
+                    f"unknown behavior {behavior!r}; known: {PIPELINE_BEHAVIORS}"
+                )
+    try:
+        depths = [int(d) for d in args.depths]
+    except ValueError:
+        raise ConfigError(f"bad --depths value in {args.depths!r}") from None
+    for depth in depths:
+        if depth < 2:
+            raise ConfigError(f"--depths entries must be >= 2, got {depth}")
+
+    grid: List[Scenario] = []
+    if not args.pipelined_only:
+        main_behaviors = (
+            list(BEHAVIORS)
+            if behaviors is None
+            else [b for b in behaviors if b in BEHAVIORS]
+        )
+        if main_behaviors:
+            grid.extend(
+                default_grid(
+                    seeds_per_combo=seeds,
+                    protocols=args.protocols,
+                    behaviors=main_behaviors,
+                    profiles=profiles,
+                )
+            )
+    if not args.no_pipelined and "alterbft" in args.protocols:
+        pipelined_behaviors = list(PIPELINE_BEHAVIORS) if behaviors is None else behaviors
+        grid.extend(
+            pipelined_grid(
+                seeds_per_combo=pipeline_seeds,
+                behaviors=pipelined_behaviors,
+                profiles=profiles,
+                depths=depths,
+            )
+        )
     if args.list:
         for scenario in grid:
             print(scenario.scenario_id)
@@ -276,10 +337,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             "empty scenario grid — check --seeds/--protocols/--behaviors/--profiles"
         )
 
-    combos = len(grid) // seeds
+    pipelined_count = sum(1 for s in grid if s.pipeline_depth > 1)
     print(
         f"repro.check: sweeping {len(grid)} scenarios "
-        f"({combos} combos x {seeds} seeds, jobs={args.jobs})"
+        f"({len(grid) - pipelined_count} main + {pipelined_count} pipelined, jobs={args.jobs})"
     )
     results = run_sweep(grid, jobs=args.jobs)
     failures = _print_report(results)

@@ -41,6 +41,17 @@ BEHAVIORS = (
     "bad-vote",
 )
 
+#: Behaviors swept in the *pipelined* scenario family: everything above
+#: plus the two cross-in-flight attacks that only exist once a leader
+#: streams several uncommitted proposals (equivocating on block k+1
+#: while k's window still runs; certifying a prefix then withholding the
+#: streamed suffix).
+PIPELINE_BEHAVIORS = BEHAVIORS + ("equivocate-inflight", "withhold-suffix")
+
+#: Pipeline depths swept in the pipelined family.  Only AlterBFT
+#: implements the chained leader, so the family is alterbft-only.
+PIPELINE_DEPTHS = (2, 4)
+
 #: The single Byzantine/faulty replica.  Replica 1 leads epoch 1 under
 #: round-robin rotation, so faulty-leader paths trigger immediately.
 FAULTY_ID = 1
@@ -118,6 +129,7 @@ class Scenario:
     seed: int
     relay_headers: bool = True
     duration: float = DEFAULT_DURATION
+    pipeline_depth: int = 1
 
     @property
     def scenario_id(self) -> str:
@@ -126,6 +138,8 @@ class Scenario:
             parts.append("norelay")
         if self.duration != DEFAULT_DURATION:
             parts.append(f"dur{self.duration:g}")
+        if self.pipeline_depth != 1:
+            parts.append(f"pd{self.pipeline_depth}")
         return ":".join(parts)
 
 
@@ -143,6 +157,7 @@ def parse_scenario_id(scenario_id: str) -> Scenario:
         raise ConfigError(f"bad scenario seed in {scenario_id!r}") from None
     relay_headers = True
     duration = DEFAULT_DURATION
+    pipeline_depth = 1
     for flag in parts[4:]:
         if flag == "norelay":
             relay_headers = False
@@ -151,6 +166,11 @@ def parse_scenario_id(scenario_id: str) -> Scenario:
                 duration = float(flag[3:])
             except ValueError:
                 raise ConfigError(f"bad duration flag {flag!r} in {scenario_id!r}") from None
+        elif flag.startswith("pd"):
+            try:
+                pipeline_depth = int(flag[2:])
+            except ValueError:
+                raise ConfigError(f"bad pipeline flag {flag!r} in {scenario_id!r}") from None
         else:
             raise ConfigError(f"unknown scenario flag {flag!r} in {scenario_id!r}")
     if profile not in PROFILES:
@@ -162,6 +182,7 @@ def parse_scenario_id(scenario_id: str) -> Scenario:
         seed=seed,
         relay_headers=relay_headers,
         duration=duration,
+        pipeline_depth=pipeline_depth,
     )
 
 
@@ -174,6 +195,7 @@ def build_config(scenario: Scenario) -> ExperimentConfig:
         delta_big=DELTA_BIG,
         epoch_timeout=EPOCH_TIMEOUT,
         relay_headers=scenario.relay_headers,
+        pipeline_depth=scenario.pipeline_depth,
     )
     if scenario.behavior == "none":
         faults: Tuple[Tuple[int, str], ...] = ()
@@ -254,6 +276,37 @@ def default_grid(
                             behavior=behavior,
                             profile=profile,
                             seed=seed,
+                        )
+                    )
+    return grid
+
+
+def pipelined_grid(
+    seeds_per_combo: int = 2,
+    behaviors: Sequence[str] = PIPELINE_BEHAVIORS,
+    profiles: Sequence[str] = PROFILES,
+    depths: Sequence[int] = PIPELINE_DEPTHS,
+    first_seed: int = 1,
+) -> List[Scenario]:
+    """The pipelined scenario family: alterbft × behavior × profile × depth.
+
+    The defaults give 10 × 3 × 2 × 2 = 120 scenarios on top of the main
+    grid; equivocation/blame/epoch change across a window of in-flight
+    blocks is the new fault surface pipelining opens, so every behavior
+    runs at every depth.
+    """
+    grid = []
+    for behavior in behaviors:
+        for profile in profiles:
+            for depth in depths:
+                for seed in range(first_seed, first_seed + seeds_per_combo):
+                    grid.append(
+                        Scenario(
+                            protocol="alterbft",
+                            behavior=behavior,
+                            profile=profile,
+                            seed=seed,
+                            pipeline_depth=depth,
                         )
                     )
     return grid

@@ -44,8 +44,11 @@ class ProtocolConfig:
             epoch timeout after each failed epoch (>= 1.0).
         max_batch: maximum number of transactions batched into one block.
         max_payload_bytes: cap on serialized payload size per block.
-        pipeline_depth: number of uncommitted proposals a leader may have
-            in flight (1 = strictly sequential).
+        pipeline_depth: number of certified-but-uncommitted proposals a
+            leader may have in flight (1 = strictly sequential).  Only
+            AlterBFT implements the chained leader; depths > 1 on any
+            baseline raise at assembly time rather than silently running
+            unpipelined.
         idle_propose_delay: when the mempool is empty, a leader waits this
             long before proposing an (empty) block instead of spinning at
             network speed.  0 disables pacing.
@@ -313,6 +316,11 @@ class ExperimentConfig:
         from .runner.registry import quorum_style_for  # local import: avoid cycle
 
         self.protocol_config.validate(quorum_style_for(self.protocol))
+        _require(
+            self.protocol == "alterbft" or self.protocol_config.pipeline_depth == 1,
+            "pipeline_depth > 1 is only supported by alterbft "
+            f"(got {self.protocol_config.pipeline_depth} for {self.protocol!r})",
+        )
         self.network_config.validate()
         self.workload.validate()
         _require(self.max_sim_time > 0, "max_sim_time must be positive")

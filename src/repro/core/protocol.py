@@ -194,8 +194,10 @@ class AlterBFTReplica(BaseReplica):
         # that blame an epoch the cluster already abandoned.
         self._blame_cert_log: Dict[int, AnyBlameCert] = {}
         self._proposed_in_epoch = False
-        # Leader pipeline: hash of the tip proposal awaiting certification.
-        self._awaiting_qc: Optional[Digest] = None
+        # Leader pipeline: (height, hash) of proposals streamed but not yet
+        # certified, oldest first, at most ``config.pipeline_depth`` long.
+        # Depth 1 degenerates to the classic one-slot "awaiting QC" leader.
+        self._inflight: List[Tuple[int, Digest]] = []
         # Payload and ancestor repair.
         self._payload_requested: Set[Digest] = set()
         self._header_requested: Set[Digest] = set()
@@ -244,25 +246,58 @@ class AlterBFTReplica(BaseReplica):
 
     def _timer_idle_propose(self, epoch: Any) -> None:
         self._idle_timer_armed = False
-        if epoch == self.epoch and self._awaiting_qc is None:
+        if epoch == self.epoch and self._pipeline_room():
             self._propose_block(force=True)
 
     # ------------------------------------------------------------------
     # Proposing (leader)
     # ------------------------------------------------------------------
 
+    def _pipeline_room(self) -> bool:
+        """May the leader stream another proposal right now?
+
+        The first proposal of a window is always allowed.  Beyond that,
+        the in-flight window is capped at ``pipeline_depth``, and blocks
+        may only be pipelined once this epoch owns a certificate
+        (``high_qc.epoch == epoch``): a deeper header must justify with a
+        same-epoch certificate, because a second header justified by a
+        pre-epoch certificate would be a second *anchor* — indictable
+        equivocation under the conflict rules.
+        """
+        if not self._inflight:
+            return True
+        if len(self._inflight) >= self.config.pipeline_depth:
+            return False
+        return self.high_qc.epoch == self.epoch
+
     def _propose_block(self, force: bool = False) -> None:
-        """Build and disseminate the next block extending ``high_qc``."""
+        """Fill the in-flight pipeline with proposals extending the tip.
+
+        At depth 1 this emits at most one proposal and then waits for its
+        certificate (the classic serial leader).  At depth d the leader
+        keeps streaming until d proposals are certified-or-awaiting, each
+        with its own 2Δ commit window running concurrently.
+        """
         if self.state != ACTIVE or not self.is_leader(self.epoch):
             return
-        if not force and self.defer_if_idle(self.epoch):
-            return
+        while self._pipeline_room():
+            if not force and self.defer_if_idle(self.epoch):
+                return
+            self._emit_proposal()
+            force = False
+
+    def _emit_proposal(self) -> None:
+        """Build and disseminate one block extending the pipeline tip."""
         justify = self.high_qc
+        if self._inflight:
+            parent_height, parent_hash = self._inflight[-1]
+        else:
+            parent_height, parent_hash = justify.height, justify.block_hash
         batch = self.mempool.take_batch(self.config.max_batch, self.config.max_payload_bytes)
         block = make_block(
             epoch=self.epoch,
-            height=justify.height + 1,
-            parent=justify.block_hash,
+            height=parent_height + 1,
+            parent=parent_hash,
             transactions=batch,
             proposer=self.replica_id,
         )
@@ -277,7 +312,7 @@ class AlterBFTReplica(BaseReplica):
             block_hash=block.block_hash,
             payload=block.payload,
         )
-        self._awaiting_qc = block.block_hash
+        self._inflight.append((block.height, block.block_hash))
         self._proposed_in_epoch = True
         self.trace("propose", epoch=self.epoch, height=block.height, txs=len(batch))
         if self.obs is not None:
@@ -287,6 +322,7 @@ class AlterBFTReplica(BaseReplica):
                 epoch=self.epoch,
                 height=block.height,
                 txs=len(batch),
+                inflight=len(self._inflight),
             )
         # Header first (small, Δ-timely), payload second (large).
         self.broadcast(header_msg)
@@ -332,7 +368,20 @@ class AlterBFTReplica(BaseReplica):
             raise VerificationError("bad proposer signature on header")
         if not self.verify_qc(msg.justify):
             raise VerificationError("header carries an invalid justify certificate")
-        if msg.justify.block_hash != header.parent or header.height != msg.justify.height + 1:
+        gap = header.height - msg.justify.height
+        if gap == 1:
+            if msg.justify.block_hash != header.parent:
+                raise VerificationError("header does not extend its justify certificate")
+        elif not (
+            self.config.pipeline_depth > 1
+            and 1 < gap <= self.config.pipeline_depth
+            and msg.justify.epoch == header.epoch
+        ):
+            # Pipelined headers ride above their justify by up to the
+            # configured depth, but must justify with a *same-epoch*
+            # certificate (a pre-epoch justify would be a second anchor).
+            # The parent link of such a header is checked against the
+            # recorded epoch chain by the conflict/vote rules instead.
             raise VerificationError("header does not extend its justify certificate")
         if msg.justify.epoch > header.epoch:
             raise VerificationError("justify certificate from a future epoch")
@@ -607,13 +656,19 @@ class AlterBFTReplica(BaseReplica):
         if self.pacemaker is not None and qc.epoch == self.epoch:
             self.pacemaker.record_progress()
         self._try_commit_ready()
-        # Leader pipeline: certify tip → propose the next block.
+        # Leader pipeline: certifying an in-flight proposal frees its slot
+        # (and every slot below it — a certificate at height h embeds
+        # honest votes for the whole chain through h) → keep streaming.
         if (
             self.state == ACTIVE
             and self.is_leader(self.epoch)
-            and self._awaiting_qc == qc.block_hash
+            and any(block_hash == qc.block_hash for _, block_hash in self._inflight)
         ):
-            self._awaiting_qc = None
+            self._inflight = [
+                (height, block_hash)
+                for height, block_hash in self._inflight
+                if height > qc.height
+            ]
             self._propose_block()
 
     def _update_high_qc(self, qc: AnyQuorumCert) -> None:
@@ -863,7 +918,10 @@ class AlterBFTReplica(BaseReplica):
                 )
             )
         self._proposed_in_epoch = False
-        self._awaiting_qc = None
+        # Resolve the in-flight window: the certified prefix survives via
+        # high_qc/status exchange; the uncertified suffix is abandoned and
+        # its transactions re-queued for the next leader to re-propose.
+        self._inflight.clear()
         self.mempool.requeue_inflight()
         assert self.pacemaker is not None
         self.pacemaker.enter_epoch(new_epoch, made_progress=False)
@@ -1050,7 +1108,7 @@ class AlterBFTReplica(BaseReplica):
             self.guard.on_epoch_enter(self.epoch)
         self._entry_rank = self.high_qc.rank
         self._proposed_in_epoch = True
-        self._awaiting_qc = None
+        self._inflight.clear()
         if self.wal is not None:
             self.wal.append(
                 WalEpochRecord(

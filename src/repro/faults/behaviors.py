@@ -33,6 +33,20 @@ Available behaviors:
   verifier (``ProtocolConfig.crypto_batch``) the whole flood fails its
   batch check and bisection must attribute the corruption to this
   replica, excluding it from future quorums.
+* ``equivocate-inflight`` — cross-in-flight equivocation (pipelined
+  AlterBFT): the Byzantine leader proposes honestly until its epoch owns
+  a certificate, then — while the certified block's 2Δ commit window is
+  still running — streams two conflicting variants of the *next* height
+  to the two halves of the cluster (voting for both).  The header relay
+  must surface the conflict and the resulting blame must cancel every
+  pending commit window of the epoch, the uncommitted-but-certified
+  prefix included.
+* ``withhold-suffix`` — stale-suffix withholding (pipelined AlterBFT):
+  the leader proposes honestly until its epoch owns a certificate, then
+  keeps filling its in-flight window with blocks it never sends to
+  anyone.  The cluster sees a certified prefix and then silence; the
+  epoch must time out, the certified prefix must survive the epoch
+  change, and the next leader must re-propose the withheld transactions.
 * ``delay_send`` — sends every message as late as the small-message bound
   allows (the strongest *model-respecting* timing adversary).
 * ``slow-link@t1:t2`` — gray failure: during ``[t1, t2)`` the replica's
@@ -127,6 +141,10 @@ def apply_behavior(
             raise ConfigError(
                 f"equivocate behavior not supported for {type(replica).__name__}"
             )
+    elif name == "equivocate-inflight":
+        _apply_equivocate_inflight(replica)
+    elif name == "withhold-suffix":
+        _apply_withhold_suffix(replica)
     elif name == "withhold_payload":
         if isinstance(replica, SyncHotStuffReplica) or not isinstance(
             replica, AlterBFTReplica
@@ -318,6 +336,134 @@ def _apply_equivocate(replica: BaseReplica) -> None:
         replica.trace("byz_equivocate", epoch=replica.epoch, height=justify.height + 1)
 
     replica._propose_block = propose_twice  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------------
+# Cross-in-flight attacks (pipelined AlterBFT)
+# ----------------------------------------------------------------------
+
+
+def _require_pipelined_alterbft(replica: BaseReplica, behavior: str) -> "AlterBFTReplica":
+    if isinstance(replica, SyncHotStuffReplica) or not isinstance(replica, AlterBFTReplica):
+        raise ConfigError(
+            f"{behavior} behavior requires a pipelined AlterBFT replica, "
+            f"got {type(replica).__name__}"
+        )
+    return replica
+
+
+def _apply_equivocate_inflight(target: BaseReplica) -> None:
+    """Equivocate on block k+1 while block k's commit window still runs.
+
+    The leader proposes honestly until its epoch owns a certificate — so
+    there is a certified-but-uncommitted block whose 2Δ window is open —
+    then streams two conflicting variants of the next height to the two
+    halves of the cluster, voting for both.  Both variants carry the
+    same-epoch justify the pipelined header rule demands, so honest
+    replicas *accept and vote* before the relay surfaces the conflict;
+    the resulting blame must cancel every pending commit window of the
+    epoch, not just the equivocated height's.
+    """
+    replica = _require_pipelined_alterbft(target, "equivocate-inflight")
+    original_emit = replica._emit_proposal
+    attacked_epochs: set = set()
+
+    def emit() -> None:
+        # Honest until the epoch holds a certificate (the window the
+        # attack needs), and at most one attack per led epoch — the
+        # blame storm ends the epoch anyway.
+        if replica.high_qc.epoch != replica.epoch or replica.epoch in attacked_epochs:
+            original_emit()
+            return
+        attacked_epochs.add(replica.epoch)
+        justify = replica.high_qc
+        if replica._inflight:
+            parent_height, parent_hash = replica._inflight[-1]
+        else:
+            parent_height, parent_hash = justify.height, justify.block_hash
+        block_a, block_b = _poisoned_variants(
+            replica, replica.epoch, parent_height + 1, parent_hash
+        )
+        # Track one variant so the genuine pipeline loop keeps its
+        # in-flight accounting (and still stops at the configured depth).
+        replica._inflight.append((block_a.height, block_a.block_hash))
+        replica._proposed_in_epoch = True
+        half = (replica.validators.n + 1) // 2
+        for dst in range(replica.validators.n):
+            if dst == replica.replica_id:
+                continue
+            block = block_a if dst < half else block_b
+            signature = replica.sign_proposal(block.block_hash)
+            replica.send(
+                dst,
+                ProposalHeaderMsg(header=block.header, signature=signature, justify=justify),
+            )
+            replica.send(
+                dst,
+                PayloadMsg(
+                    epoch=replica.epoch,
+                    height=block.height,
+                    block_hash=block.block_hash,
+                    payload=block.payload,
+                ),
+            )
+            vote = Vote.create(
+                replica.signer,
+                replica.protocol_name,
+                block.epoch,
+                block.height,
+                block.block_hash,
+            )
+            replica.send(dst, VoteMsg(vote=vote))
+        replica.trace(
+            "byz_equivocate_inflight", epoch=replica.epoch, height=parent_height + 1
+        )
+
+    replica._emit_proposal = emit  # type: ignore[method-assign]
+
+
+def _apply_withhold_suffix(target: BaseReplica) -> None:
+    """Certify a prefix, then withhold the streamed suffix entirely.
+
+    The leader proposes honestly until its epoch owns a certificate,
+    then keeps filling its in-flight window with blocks it never sends
+    to anyone.  Honest replicas see a certified prefix and then silence:
+    the epoch must time out, the certified prefix must survive the epoch
+    change (it commits — nothing conflicts with it), and the withheld
+    transactions must be re-proposed by a later leader.
+    """
+    replica = _require_pipelined_alterbft(target, "withhold-suffix")
+    original_emit = replica._emit_proposal
+
+    def emit() -> None:
+        # Honest until the epoch holds a certificate — that certificate
+        # is the prefix the epoch change must preserve.
+        if replica.high_qc.epoch != replica.epoch:
+            original_emit()
+            return
+        justify = replica.high_qc
+        if replica._inflight:
+            parent_height, parent_hash = replica._inflight[-1]
+        else:
+            parent_height, parent_hash = justify.height, justify.block_hash
+        batch = replica.mempool.take_batch(
+            replica.config.max_batch, replica.config.max_payload_bytes
+        )
+        block = make_block(
+            epoch=replica.epoch,
+            height=parent_height + 1,
+            parent=parent_hash,
+            transactions=tuple(batch),
+            proposer=replica.replica_id,
+        )
+        # The block exists only inside the Byzantine leader: it fills the
+        # in-flight window (so the genuine loop stops at depth) but no
+        # header, payload, or vote ever leaves this replica.
+        replica._inflight.append((block.height, block.block_hash))
+        replica._proposed_in_epoch = True
+        replica.trace("byz_withhold_suffix", epoch=replica.epoch, height=block.height)
+
+    replica._emit_proposal = emit  # type: ignore[method-assign]
 
 
 # ----------------------------------------------------------------------

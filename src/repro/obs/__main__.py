@@ -14,6 +14,8 @@ Subcommands:
 * ``guard`` — synchrony-guard timeline: Δ violations, suspicion,
   adjustment certificates, installs, and at-risk commit runs.
 * ``stragglers`` — per-replica delivery/commit lag profile.
+* ``overlap`` — pipelining evidence: per-epoch overlap between
+  consecutive blocks' in-flight spans and peak in-flight concurrency.
 * ``headroom`` — observed small-message delay vs the configured Δ.
 * ``validate`` — structural validation of JSONL and Chrome-trace files;
   the JSONL is also round-tripped through the Chrome exporter.
@@ -40,6 +42,7 @@ from .analyze import (
     guard_timeline,
     phase_durations,
     recovery_timeline,
+    span_overlap_rows,
     straggler_rows,
     summarize_recording,
 )
@@ -107,6 +110,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
             faults=tuple(args.fault or ()),
             checkpoint_interval=args.checkpoint_interval,
             guard_enabled=args.guard,
+            pipeline_depth=args.pipeline_depth,
         ),
         observability=True,
     )
@@ -303,6 +307,19 @@ def _cmd_stragglers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overlap(args: argparse.Namespace) -> int:
+    _, recorder = _load(args.trace)
+    rows = span_overlap_rows(assemble_lifecycles(recorder.events))
+    if not rows:
+        print("no consecutive committed heights in trace")
+        return 0
+    print(format_table([_round_row(r) for r in rows]))
+    peak = max(int(r["max_inflight"]) for r in rows)
+    print(f"\npeak uncertified in-flight blocks: {peak} "
+          + ("(pipelined)" if peak > 1 else "(sequential — depth 1 or idle leader)"))
+    return 0
+
+
 def _cmd_headroom(args: argparse.Namespace) -> int:
     meta, recorder = _load(args.trace)
     delta, threshold = _bounds_from_meta(meta)
@@ -405,6 +422,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the synchrony guard (repro.guard) to every replica",
     )
+    record_p.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=1,
+        metavar="D",
+        help="chained-leader window size (alterbft only; default 1 = classic)",
+    )
     record_p.set_defaults(func=_cmd_record)
 
     report_p = sub.add_parser("report", help="phase-latency breakdown for a trace")
@@ -434,6 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
     stragglers_p.add_argument("trace")
     stragglers_p.add_argument("--threshold", type=float, default=1.5)
     stragglers_p.set_defaults(func=_cmd_stragglers)
+
+    overlap_p = sub.add_parser(
+        "overlap", help="pipelining evidence: in-flight span overlap per epoch"
+    )
+    overlap_p.add_argument("trace")
+    overlap_p.set_defaults(func=_cmd_overlap)
 
     headroom_p = sub.add_parser("headroom", help="small-message delay vs Δ")
     headroom_p.add_argument("trace")

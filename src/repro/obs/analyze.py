@@ -41,6 +41,7 @@ from .recorder import (
     EVENT_RECOVERY_DOWN,
     EVENT_RECOVERY_RESTART,
     GUARD_MILESTONES,
+    MARK_CERTIFY,
     MARK_COMMIT,
     MARK_PROPOSE,
     MsgSample,
@@ -469,6 +470,84 @@ def straggler_rows(
                 "deliver_lag_ms": deliver_ms,
                 "commit_lag_ms": commit_ms,
                 "straggler": flagged,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Pipelining: in-flight span overlap
+# ---------------------------------------------------------------------------
+
+
+def span_overlap_rows(
+    lifecycles: Dict[bytes, BlockLifecycle],
+) -> List[Dict[str, object]]:
+    """Per-epoch evidence that the leader actually pipelined.
+
+    A block is *in flight* from its proposal to its cluster-first
+    certificate.  The commit span is the wrong discriminator — every
+    AlterBFT leader proposes h+1 while h's 2Δ commit window runs, depth 1
+    included.  What only a chained leader does is propose h+1 *before h
+    is certified*: with ``pipeline_depth=1`` consecutive certify-spans
+    abut (overlap ~0, one uncertified block at a time), while a chained
+    leader streams up to depth uncertified proposals whose spans overlap
+    by up to a vote round-trip.
+
+    One row per epoch: how many consecutive-height pairs were measured,
+    what fraction overlapped, mean/max overlap, and the peak number of
+    simultaneously in-flight (proposed-but-uncertified) blocks.
+    """
+    spans: List[Tuple[int, int, float, float]] = []
+    for life in lifecycles.values():
+        certify_times = [
+            kinds[MARK_CERTIFY]
+            for kinds in life.marks.values()
+            if MARK_CERTIFY in kinds
+        ]
+        if life.propose_time is None or not certify_times or life.height is None:
+            continue
+        epoch = life.epoch if life.epoch is not None else -1
+        spans.append((epoch, life.height, life.propose_time, min(certify_times)))
+    spans.sort(key=lambda s: (s[1], s[2]))
+
+    stats: Dict[int, Dict[str, float]] = {}
+    for i in range(1, len(spans)):
+        prev_epoch, prev_height, _, prev_commit = spans[i - 1]
+        epoch, height, proposed, _ = spans[i]
+        if height != prev_height + 1 or epoch != prev_epoch:
+            continue  # epoch boundary or gap: not a pipelining measurement
+        overlap = max(0.0, prev_commit - proposed)
+        # Blocks still in flight the instant this one was proposed; the
+        # lookback window is bounded but far wider than any sane depth.
+        concurrent = 1 + sum(
+            1
+            for j in range(max(0, i - 64), i)
+            if spans[j][3] > proposed
+        )
+        entry = stats.setdefault(
+            epoch,
+            {"pairs": 0, "overlapped": 0, "sum": 0.0, "max": 0.0, "inflight": 1},
+        )
+        entry["pairs"] += 1
+        if overlap > 0.0:
+            entry["overlapped"] += 1
+        entry["sum"] += overlap
+        entry["max"] = max(entry["max"], overlap)
+        entry["inflight"] = max(entry["inflight"], concurrent)
+
+    rows: List[Dict[str, object]] = []
+    for epoch in sorted(stats):
+        entry = stats[epoch]
+        pairs = int(entry["pairs"])
+        rows.append(
+            {
+                "epoch": epoch,
+                "pairs": pairs,
+                "overlapped_%": 100.0 * entry["overlapped"] / pairs,
+                "overlap_mean_ms": entry["sum"] / pairs * 1e3,
+                "overlap_max_ms": entry["max"] * 1e3,
+                "max_inflight": int(entry["inflight"]),
             }
         )
     return rows

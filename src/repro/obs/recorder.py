@@ -32,6 +32,10 @@ from typing import Any, Dict, List, NamedTuple, Optional
 #: interval between two consecutive milestones is one *phase*; analysis
 #: clamps out-of-order arrivals (e.g. a payload landing before its
 #: header) so per-phase durations always telescope to commit − propose.
+#: A chained (pipelined) leader stamps each MARK_PROPOSE with an
+#: ``inflight`` attr — the size of its in-flight window *including* the
+#: new block — which is what ``span_overlap_rows`` cross-checks against
+#: the overlap it measures from the spans themselves.
 MARK_PROPOSE = "propose"
 MARK_HEADER = "header_deliver"
 MARK_PAYLOAD = "payload_deliver"

@@ -41,6 +41,12 @@ class MetricsCollector:
         #: invariant checkers (repro.check) measure commit gaps per honest
         #: replica, not just cluster-wide firsts.
         self.commit_times_by_replica: Dict[int, List[float]] = {}
+        #: Per-replica (time, height, block_hash, parent) commit records,
+        #: in observation order.  Unlike the final ledgers, this keeps
+        #: every commit *event* — pre-crash commits and rejoin re-commits
+        #: included — which is what the pipelined height-agreement and
+        #: certified-prefix invariants examine.
+        self.commit_records_by_replica: Dict[int, List[Tuple[float, int, bytes, bytes]]] = {}
         self.last_commit_time = 0.0
 
     def make_listener(self, replica_id: int):
@@ -59,6 +65,9 @@ class MetricsCollector:
             return
         self.commits_per_replica[replica_id] = self.commits_per_replica.get(replica_id, 0) + 1
         self.commit_times_by_replica.setdefault(replica_id, []).append(now)
+        self.commit_records_by_replica.setdefault(replica_id, []).append(
+            (now, block.height, block.block_hash, block.parent)
+        )
         self.last_commit_time = max(self.last_commit_time, now)
         if block.block_hash not in self._block_first_commit:
             self._block_first_commit[block.block_hash] = now
