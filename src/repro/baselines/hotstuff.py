@@ -54,6 +54,9 @@ class HotStuffReplica(BaseReplica):
 
     protocol_name = "hotstuff"
 
+    #: Declared wire-phase contract (checked against HANDLERS in tests).
+    WIRE_PHASES = ("propose", "vote", "epoch_change")
+
     HANDLERS = {
         HSProposalMsg: "on_proposal",
         VoteMsg: "on_vote",

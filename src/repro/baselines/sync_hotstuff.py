@@ -55,6 +55,19 @@ class SyncHotStuffReplica(AlterBFTReplica):
 
     protocol_name = "sync-hotstuff"
 
+    #: Declared wire-phase contract (checked against HANDLERS in tests).
+    #: Unlike AlterBFT there is no separate "payload" phase: Sync
+    #: HotStuff ships the full block inside its proposal, which is the
+    #: size asymmetry the paper's comparison turns on.
+    WIRE_PHASES = (
+        "propose",
+        "vote",
+        "epoch_change",
+        "repair",
+        "recovery",
+        "guard",
+    )
+
     HANDLERS = {
         SHProposalMsg: "on_sh_proposal",
         VoteMsg: "on_vote",

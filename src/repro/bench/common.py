@@ -74,6 +74,7 @@ def make_config(
     network: NetworkConfig = DEFAULT_NETWORK,
     faults: Tuple[Tuple[int, str], ...] = (),
     topology: str = "single-az",
+    wire_accounting: bool = False,
     **protocol_overrides,
 ) -> ExperimentConfig:
     """One standard experiment configuration.
@@ -102,6 +103,7 @@ def make_config(
         warmup=warmup,
         faults=faults,
         topology=topology,
+        wire_accounting=wire_accounting,
     )
 
 

@@ -22,8 +22,16 @@ def run(fast: bool = True) -> ExperimentOutput:
     rows = []
     for f in fs:
         for protocol in ALL_PROTOCOLS:
+            # Wire accounting rides along (observationally inert): the
+            # leader-egress share column is E5's bandwidth story — how
+            # leader fan-out concentrates egress as the cluster grows.
             config = make_config(
-                protocol, f=f, rate=1000.0, tx_size=512, duration=duration
+                protocol,
+                f=f,
+                rate=1000.0,
+                tx_size=512,
+                duration=duration,
+                wire_accounting=True,
             )
             rows.append(run_and_row(config))
     largest = max(fs)
@@ -41,6 +49,7 @@ def run(fast: bool = True) -> ExperimentOutput:
             "hotstuff_n": int(col("hotstuff", "n")),
             "alterbft_p50_ms": col("alterbft", "lat_p50_ms"),
             "hotstuff_p50_ms": col("hotstuff", "lat_p50_ms"),
+            "alterbft_leader_egress_share": col("alterbft", "leader_egress_share"),
         },
         notes=(
             "Same f, fewer replicas: 2f+1 vs 3f+1 — the resilience "

@@ -298,6 +298,14 @@ class ExperimentConfig:
             exporters.  Recording is observationally inert (seeded
             fingerprints are byte-identical either way) but costs memory
             proportional to the message count; off by default.
+        wire_accounting: attach a
+            :class:`repro.obs.wire.WireAccountant` to the network — every
+            send's bytes attributed to (link, message class, small/large
+            size class, protocol phase, height/epoch), plus per-class
+            size histograms and egress backpressure samples, for the
+            ``repro.obs wire|bandwidth|queues`` drill-downs and the perf
+            gate's bandwidth metrics.  Observationally inert (seeded
+            fingerprints are byte-identical either way); off by default.
     """
 
     protocol: str
@@ -311,6 +319,7 @@ class ExperimentConfig:
     topology: str = "single-az"
     record_trace: bool = False
     observability: bool = False
+    wire_accounting: bool = False
 
     def validate(self) -> None:
         from .runner.registry import quorum_style_for  # local import: avoid cycle

@@ -50,6 +50,27 @@ class BaseReplica:
     #: Message-class → handler-method-name mapping (subclass declares).
     HANDLERS: Dict[Type, str] = {}
 
+    #: Wire phases this protocol's traffic may occupy (subclass declares;
+    #: names from :data:`repro.obs.wire.WIRE_PHASE_NAMES`).  This is the
+    #: protocol's *declared* bandwidth contract: the ``repro.obs wire``
+    #: drill-down flags any observed phase outside it, and a unit test
+    #: pins each declaration against :meth:`handled_wire_phases` so the
+    #: two cannot drift silently.
+    WIRE_PHASES: Tuple[str, ...] = ()
+
+    @classmethod
+    def handled_wire_phases(cls) -> Tuple[str, ...]:
+        """Wire phases derived from :attr:`HANDLERS`, in canonical order.
+
+        Every message class a replica can *receive* is also one its peers
+        *send*, so the handler map doubles as the ground truth for which
+        phases the protocol's wire traffic can occupy.
+        """
+        from ..obs.wire import WIRE_PHASE_NAMES, classify_phase
+
+        observed = {classify_phase(m.__name__) for m in cls.HANDLERS}
+        return tuple(p for p in WIRE_PHASE_NAMES if p in observed)
+
     #: Observability sink (set by the cluster builder when the experiment
     #: enables observability).  ``None`` means every instrumentation site
     #: is a single attribute test — the disabled hot path does no obs

@@ -127,6 +127,17 @@ class AlterBFTReplica(BaseReplica):
 
     protocol_name = "alterbft"
 
+    #: Declared wire-phase contract (checked against HANDLERS in tests).
+    WIRE_PHASES = (
+        "propose",
+        "payload",
+        "vote",
+        "epoch_change",
+        "repair",
+        "recovery",
+        "guard",
+    )
+
     HANDLERS = {
         ProposalHeaderMsg: "on_proposal_header",
         PayloadMsg: "on_payload",

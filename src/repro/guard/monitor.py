@@ -56,6 +56,17 @@ from ..types.messages import (
     GuardProbeMsg,
 )
 
+#: Every wire message class this subsystem originates.  The wire
+#: accounting layer (:mod:`repro.obs.wire`) derives its "guard" phase
+#: from this tuple, so adding a guard message here keeps its bandwidth
+#: attributed to the guard instead of silently landing in "other".
+GUARD_WIRE_CLASSES: Tuple[str, ...] = (
+    GuardProbeMsg.__name__,
+    GuardProbeEchoMsg.__name__,
+    DeltaAdjustMsg.__name__,
+    DeltaAdjustCertMsg.__name__,
+)
+
 #: How far back a freshly raised suspicion retroactively flags commits.
 #: A commit finalized at time t relied on small messages in flight during
 #: [t - 2Δ, t] (the commit window) — those are exactly the messages a

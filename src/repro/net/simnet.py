@@ -20,6 +20,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 from ..codec import encoded_size
 from ..errors import SimulationError
 from ..obs.recorder import SpanRecorder
+from ..obs.wire import WireAccountant
 from ..sim.rng import RngFactory
 from ..sim.scheduler import Scheduler
 from ..sim.tracing import Trace
@@ -64,6 +65,7 @@ class SimNetwork:
         egress_bandwidth: Optional[float] = None,
         priority_threshold: int = 0,
         obs: Optional[SpanRecorder] = None,
+        wire: Optional[WireAccountant] = None,
     ) -> None:
         self.scheduler = scheduler
         self.delay_model = delay_model
@@ -71,6 +73,11 @@ class SimNetwork:
         #: Observability sink for per-message delay samples; ``None``
         #: (the default) keeps the send path free of any obs work.
         self.obs = obs
+        #: Wire-byte accountant (repro.obs.wire); ``None`` (the default)
+        #: keeps the send path free of accounting work.  The tap sits at
+        #: the same site as ``Trace.count_message``, so its totals
+        #: cross-check byte-exactly against the trace counters.
+        self.wire = wire
         self.egress_bandwidth = egress_bandwidth
         #: Messages at or below this size bypass egress queueing — the
         #: priority lane that justifies the hybrid model's small-message
@@ -176,6 +183,8 @@ class SimNetwork:
         if src in self._down:
             return
         self.trace.count_message(src, type(msg).__name__, size)
+        if self.wire is not None:
+            self.wire.account(src, dst, msg, size)
         scheduler = self.scheduler
         if src == dst:
             scheduler.post_after(LOOPBACK_DELAY, self._deliver, src, dst, msg)
@@ -202,6 +211,10 @@ class SimNetwork:
             # NIC egress serialization: copies of a broadcast queue behind
             # one another at the sender.
             start = max(departure, self._egress_free.get(src, 0.0))
+            if self.wire is not None:
+                # Backpressure sample: how long this copy waited behind
+                # earlier egress before its serialization even started.
+                self.wire.sample_queue(scheduler.now, src, start - scheduler.now, size)
             departure = start + size / self.egress_bandwidth
             self._egress_free[src] = departure
         if self.obs is not None:

@@ -24,6 +24,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..codec import decode, encode_cached
 from ..consensus.replica import BaseReplica
 from ..errors import TransportError
+from ..obs.metrics import MetricsRegistry
+from ..obs.wire import WireAccountant
 
 #: Maximum accepted frame size (defensive bound, 64 MiB).
 MAX_FRAME = 64 * 1024 * 1024
@@ -122,6 +124,14 @@ class AsyncReplicaNode:
         peers: replica id → (host, port) for every cluster member,
             including this one (its entry is the listen address).
         outbound_limit: per-peer buffered-frame cap while disconnected.
+        metrics: optional registry receiving transport health counters —
+            per-peer drop-oldest queue drops (``transport/queue_drops/…``),
+            dial/reconnect attempts (``transport/reconnects/…``), and a
+            per-peer outbound queue-depth gauge.  ``None`` keeps every
+            site a single attribute test.
+        wire: optional :class:`~repro.obs.wire.WireAccountant` tapping
+            every encoded frame this node sends (codec bytes, excluding
+            the 4-byte length prefix, matching the simulator's sizing).
     """
 
     def __init__(
@@ -129,10 +139,14 @@ class AsyncReplicaNode:
         replica: BaseReplica,
         peers: Dict[int, Tuple[str, int]],
         outbound_limit: int = OUTBOUND_QUEUE_LIMIT,
+        metrics: Optional[MetricsRegistry] = None,
+        wire: Optional[WireAccountant] = None,
     ) -> None:
         self.replica = replica
         self.peers = dict(peers)
         self.n = len(peers)
+        self.metrics = metrics
+        self.wire = wire
         self.loop: asyncio.AbstractEventLoop = None  # type: ignore[assignment]
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Dict[int, asyncio.StreamWriter] = {}
@@ -172,6 +186,9 @@ class AsyncReplicaNode:
         host, port = self.peers[peer_id]
         attempt = 0
         while not self._stopped:
+            if self.metrics is not None:
+                self.metrics.counter(f"transport/reconnects/peer_{peer_id}").inc()
+                self.metrics.counter("transport/reconnects_total").inc()
             try:
                 _, writer = await asyncio.open_connection(host, port)
                 writer.write(encode_frame(("hello", self.replica.replica_id)))
@@ -242,6 +259,11 @@ class AsyncReplicaNode:
             self.loop.call_soon(self.replica.handle, dst, msg)
             return
         frame = encode_frame(msg)
+        if self.wire is not None:
+            # Codec bytes only (the 4-byte length prefix is framing
+            # overhead) — the same sizing the simulator accounts, so
+            # simulated and real byte profiles compare directly.
+            self.wire.account(self.replica.replica_id, dst, msg, len(frame) - 4)
         writer = self._writers.get(dst)
         if writer is None or writer.is_closing():
             self._enqueue(dst, frame)
@@ -260,7 +282,12 @@ class AsyncReplicaNode:
             queue = self._outbound[dst] = deque(maxlen=self.outbound_limit)
         if len(queue) == queue.maxlen:
             self.dropped[dst] = self.dropped.get(dst, 0) + 1
+            if self.metrics is not None:
+                self.metrics.counter(f"transport/queue_drops/peer_{dst}").inc()
+                self.metrics.counter("transport/queue_drops_total").inc()
         queue.append(frame)  # deque(maxlen=...) evicts the oldest
+        if self.metrics is not None:
+            self.metrics.gauge(f"transport/queue_depth/peer_{dst}").set(len(queue))
 
 
 def local_peer_map(n: int, base_port: int = 39000, host: str = "127.0.0.1") -> Dict[int, Tuple[str, int]]:

@@ -16,6 +16,12 @@ The subsystem instruments the consensus hot path end to end:
   straggler detection, and Δ-headroom analysis.
 * :mod:`repro.obs.export` — Chrome-trace (Perfetto-compatible) JSON and
   JSONL exporters plus the matching loaders/validators.
+* :mod:`repro.obs.wire` — wire-level bandwidth accounting: the
+  :class:`WireAccountant` taps every send in the simulated network and
+  the real transport, attributing bytes to link, message class, protocol
+  phase, δ/Δ size class, and block height/epoch, with telescoping-sum
+  validation, JSONL + Prometheus-text snapshots, and the
+  ``python -m repro.obs wire|bandwidth|queues`` drill-downs.
 * ``python -m repro.obs`` — the trace-analysis CLI ("why was this block
   slow"); see :mod:`repro.obs.__main__`.
 """
@@ -48,6 +54,17 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .wire import (
+    SIZE_HISTOGRAM_BOUNDS,
+    WIRE_PHASE_NAMES,
+    QueueSample,
+    WireAccountant,
+    classify_phase,
+    read_wire_jsonl,
+    to_prometheus_text,
+    validate_wire_snapshot,
+    write_wire_jsonl,
+)
 
 __all__ = [
     "BLOCK_MILESTONES",
@@ -66,11 +83,20 @@ __all__ = [
     "MsgSample",
     "ObsEvent",
     "ObsSummary",
+    "QueueSample",
+    "SIZE_HISTOGRAM_BOUNDS",
     "SpanRecorder",
+    "WIRE_PHASE_NAMES",
+    "WireAccountant",
+    "classify_phase",
     "read_jsonl",
+    "read_wire_jsonl",
     "summarize_recording",
     "to_chrome_trace",
+    "to_prometheus_text",
     "validate_chrome_trace",
+    "validate_wire_snapshot",
     "write_chrome_trace",
     "write_jsonl",
+    "write_wire_jsonl",
 ]

@@ -17,11 +17,21 @@ Subcommands:
 * ``overlap`` — pipelining evidence: per-epoch overlap between
   consecutive blocks' in-flight spans and peak in-flight concurrency.
 * ``headroom`` — observed small-message delay vs the configured Δ.
-* ``validate`` — structural validation of JSONL and Chrome-trace files;
-  the JSONL is also round-tripped through the Chrome exporter.
+* ``wire`` — wire-level bandwidth drill-down for a ``wire.jsonl``
+  snapshot: telescoping-sum validation, per-class and per-phase byte
+  tables, and a cross-check of observed phases against the protocol's
+  declared ``WIRE_PHASES`` contract.
+* ``bandwidth`` — who sent the bytes: per-node egress, heaviest links,
+  and the leader-egress share the paper's bandwidth argument turns on.
+* ``queues`` — egress backpressure samples (simulated bandwidth-limit
+  queueing) per node.
+* ``validate`` — structural validation of JSONL, Chrome-trace, and wire
+  snapshot files; obs JSONL is also round-tripped through the Chrome
+  exporter, wire JSONL through the telescoping validator.
 
 ``report``/``block``/... operate on the JSONL export (the lossless
-format); ``validate`` accepts both formats.
+format); ``wire``/``bandwidth``/``queues`` on the ``wire.jsonl`` a
+``record --wire`` run writes; ``validate`` accepts all formats.
 """
 
 from __future__ import annotations
@@ -54,6 +64,18 @@ from .export import (
     write_jsonl,
 )
 from .recorder import SpanRecorder
+from .wire import (
+    WIRE_PHASE_NAMES,
+    class_rows,
+    link_rows,
+    phase_rows,
+    queue_rows,
+    read_wire_jsonl,
+    sender_rows,
+    to_prometheus_text,
+    validate_wire_snapshot,
+    write_wire_jsonl,
+)
 
 #: Float tolerance when cross-checking phase sums vs end-to-end latency.
 SUM_TOLERANCE_MS = 1e-6
@@ -113,6 +135,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
             pipeline_depth=args.pipeline_depth,
         ),
         observability=True,
+        wire_accounting=args.wire,
     )
     cluster = build_cluster(config)
     cluster.start()
@@ -146,6 +169,26 @@ def _cmd_record(args: argparse.Namespace) -> int:
     )
     print(f"wrote {jsonl_path}")
     print(f"wrote {chrome_path}")
+    if cluster.wire is not None:
+        snapshot = cluster.wire.snapshot(
+            meta={
+                "protocol": config.protocol,
+                "seed": config.seed,
+                "committed_blocks": cluster.collector.committed_blocks(),
+                "fingerprint": meta["fingerprint"],
+            }
+        )
+        wire_jsonl = os.path.join(args.out_dir, "wire.jsonl")
+        wire_prom = os.path.join(args.out_dir, "wire.prom")
+        write_wire_jsonl(wire_jsonl, snapshot)
+        with open(wire_prom, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus_text(snapshot))
+        print(
+            f"accounted {snapshot['totals']['msgs']} messages / "
+            f"{snapshot['totals']['bytes']} wire bytes"
+        )
+        print(f"wrote {wire_jsonl}")
+        print(f"wrote {wire_prom}")
     return 0
 
 
@@ -343,6 +386,85 @@ def _cmd_headroom(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# wire / bandwidth / queues
+# ---------------------------------------------------------------------------
+
+
+def _cmd_wire(args: argparse.Namespace) -> int:
+    snapshot = read_wire_jsonl(args.snapshot)
+    problems = validate_wire_snapshot(snapshot)
+    meta = snapshot.get("meta") or {}
+    protocol = meta.get("protocol")
+
+    # Cross-check observed phases against the protocol's declared
+    # WIRE_PHASES contract: traffic in an undeclared phase means either
+    # the contract or the classifier is stale.
+    observed = {row["phase"] for row in snapshot["phases"] if row["bytes"]}
+    if protocol is not None:
+        from ..runner.registry import replica_class_for
+
+        try:
+            declared = set(replica_class_for(protocol).WIRE_PHASES)
+        except (KeyError, ValueError):
+            declared = None
+        if declared is not None:
+            for phase in sorted(observed - declared):
+                problems.append(
+                    f"observed phase {phase!r} outside {protocol}'s declared "
+                    f"WIRE_PHASES contract"
+                )
+
+    print(f"== wire accounting ({protocol or '?'}) ==")
+    print(f"total: {snapshot['totals']['msgs']} msgs, {snapshot['totals']['bytes']} bytes "
+          f"(of which {snapshot['totals']['loopback_msgs']} loopback msgs / "
+          f"{snapshot['totals']['loopback_bytes']} bytes never leave the host)")
+    print()
+    print("bytes by message class:")
+    print(format_table(
+        class_rows(snapshot),
+        ["class", "phase", "msgs", "bytes", "share_%", "small_B", "large_B", "mean_B", "max_B"],
+    ))
+    print()
+    print("bytes by protocol phase:")
+    print(format_table(phase_rows(snapshot)))
+    if problems:
+        print()
+        print("INVALID:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print()
+    print(f"telescoping check: ok (phases observed: "
+          f"{', '.join(p for p in WIRE_PHASE_NAMES if p in observed)})")
+    return 0
+
+
+def _cmd_bandwidth(args: argparse.Namespace) -> int:
+    snapshot = read_wire_jsonl(args.snapshot)
+    print("per-node egress:")
+    print(format_table(sender_rows(snapshot)))
+    print()
+    print(f"heaviest links (top {args.top}):")
+    print(format_table(link_rows(snapshot, top=args.top)))
+    print()
+    print(f"leader egress share: {snapshot['leader_egress_share']:.4f}")
+    committed = (snapshot.get("meta") or {}).get("committed_blocks")
+    if committed:
+        print(f"bytes per commit   : {snapshot['totals']['bytes'] / committed:.1f}")
+    return 0
+
+
+def _cmd_queues(args: argparse.Namespace) -> int:
+    snapshot = read_wire_jsonl(args.snapshot)
+    rows = queue_rows(snapshot)
+    if not rows:
+        print("no egress queueing observed (bandwidth limit off or never saturated)")
+        return 0
+    print(format_table(rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # validate
 # ---------------------------------------------------------------------------
 
@@ -357,8 +479,15 @@ def _validate_one(path: str) -> List[str]:
         head = json.loads(first_line)
     except json.JSONDecodeError:
         head = None  # multi-line JSON document (e.g. indented Chrome trace)
-    # Both formats start with "{": a JSONL export's first line is its
-    # meta header, while a Chrome trace's first line opens the document.
+    # Wire snapshot JSONL: first line is its wire_meta header.
+    if isinstance(head, dict) and head.get("record") == "wire_meta":
+        try:
+            return validate_wire_snapshot(read_wire_jsonl(path))
+        except (ValueError, KeyError, OSError) as exc:
+            return [str(exc)]
+    # Both remaining formats start with "{": a JSONL export's first line
+    # is its meta header, while a Chrome trace's first line opens the
+    # document.
     if not (isinstance(head, dict) and head.get("record") == "meta"):
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -429,6 +558,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="D",
         help="chained-leader window size (alterbft only; default 1 = classic)",
     )
+    record_p.add_argument(
+        "--wire",
+        action="store_true",
+        help="also run the wire-byte accountant and export wire.jsonl/wire.prom",
+    )
     record_p.set_defaults(func=_cmd_record)
 
     report_p = sub.add_parser("report", help="phase-latency breakdown for a trace")
@@ -469,6 +603,25 @@ def build_parser() -> argparse.ArgumentParser:
     headroom_p.add_argument("trace")
     headroom_p.add_argument("--delta", type=float, default=None)
     headroom_p.set_defaults(func=_cmd_headroom)
+
+    wire_p = sub.add_parser(
+        "wire", help="wire-byte drill-down: classes, phases, telescoping check"
+    )
+    wire_p.add_argument("snapshot", help="wire.jsonl from `record --wire`")
+    wire_p.set_defaults(func=_cmd_wire)
+
+    bandwidth_p = sub.add_parser(
+        "bandwidth", help="who sent the bytes: per-node egress and heaviest links"
+    )
+    bandwidth_p.add_argument("snapshot", help="wire.jsonl from `record --wire`")
+    bandwidth_p.add_argument("--top", type=int, default=10, help="links shown")
+    bandwidth_p.set_defaults(func=_cmd_bandwidth)
+
+    queues_p = sub.add_parser(
+        "queues", help="egress backpressure samples per node"
+    )
+    queues_p.add_argument("snapshot", help="wire.jsonl from `record --wire`")
+    queues_p.set_defaults(func=_cmd_queues)
 
     validate_p = sub.add_parser("validate", help="validate exported trace files")
     validate_p.add_argument("traces", nargs="+")

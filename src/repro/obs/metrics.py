@@ -188,6 +188,33 @@ class MetricsRegistry:
             if isinstance((inst := self._instruments[n]), Histogram)
         ]
 
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one, instrument by instrument.
+
+        Counters **sum** (a name present on only one side keeps its
+        value — merging over disjoint label sets is the common case when
+        combining per-replica registries).  Histograms merge
+        bucket-by-bucket and raise ``ValueError`` on mismatched bucket
+        layouts, the same contract as :meth:`Histogram.merge`.  Gauges
+        are instantaneous values with no meaningful sum, so the merge is
+        **peak-preserving**: the larger value wins.  A name registered
+        with different instrument types on the two sides raises
+        ``TypeError``.  Returns ``self`` for chaining.
+        """
+        for name in other.names():
+            instrument = other.get(name)
+            if isinstance(instrument, Counter):
+                self.counter(name).inc(instrument.value)
+            elif isinstance(instrument, Histogram):
+                # Requesting with the incoming bounds creates a matching
+                # histogram when absent; an existing one keeps its own
+                # bounds and merge() raises on a layout mismatch.
+                self.histogram(name, instrument.bounds).merge(instrument)
+            elif isinstance(instrument, Gauge):
+                gauge = self.gauge(name)
+                gauge.set(max(gauge.value, instrument.value))
+        return self
+
     def as_dict(self) -> Dict[str, Dict[str, object]]:
         """Everything in the registry, JSON-serializable."""
         return {name: self._instruments[name].to_dict() for name in self.names()}

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from ..bench.common import make_config
 from ..runner.cluster import build_cluster
@@ -62,6 +62,10 @@ FULL_CONFIGS: Tuple[E2EConfig, ...] = (
         seed=3,
         overrides=(("crypto_batch", True), ("crypto_aggregate", True)),
     ),
+    # An E5 scalability point (n=9): the leader-egress-share gate is only
+    # meaningful where leader fan-out dominates, which needs a cluster
+    # larger than the E3 points' n=3/n=7.
+    E2EConfig("e5_n9_f4", rate=1000.0, f=4, duration=3.0, seed=5),
 )
 
 #: The fast (CI smoke) subset runs the same operating point as the full
@@ -72,14 +76,23 @@ FAST_CONFIGS: Tuple[E2EConfig, ...] = (
 )
 
 
-def run_one(config: E2EConfig) -> Tuple[float, int, int, str, Trace]:
-    """One seeded run: (wall seconds, events, committed txs, fingerprint, trace)."""
+def run_one(config: E2EConfig) -> Tuple[float, int, int, str, Trace, Dict[str, float]]:
+    """One seeded run: (wall s, events, committed txs, fingerprint, trace, wire stats).
+
+    Wire accounting is **on**: its counters are observationally inert
+    (same fingerprint with or without, asserted in tests/test_wire.py),
+    and the stats it yields — total wire bytes, leader-egress share,
+    bytes per commit — are regression-gated alongside the wall-clock
+    metrics.  A protocol change that bloats messages or re-centralizes
+    egress on the leader fails the perf gate even if it runs no slower.
+    """
     cfg = make_config(
         "alterbft",
         f=config.f,
         rate=config.rate,
         duration=config.duration,
         seed=config.seed,
+        wire_accounting=True,
         **dict(config.overrides),
     )
     t0 = time.perf_counter()
@@ -95,7 +108,28 @@ def run_one(config: E2EConfig) -> Tuple[float, int, int, str, Trace]:
     )
     fingerprint = cluster.trace.fingerprint(extra=ledger_state)
     committed = cluster.collector.committed_tx_count(cfg.max_sim_time)
-    return wall, cluster.scheduler.events_processed, committed, fingerprint, cluster.trace
+    wire = cluster.wire
+    assert wire is not None
+    # Hard cross-check: the accountant taps the same site as the trace
+    # counters, so the two byte totals must agree exactly.
+    if wire.bytes_total != cluster.trace.counters.get("bytes", 0):
+        raise AssertionError(
+            f"{config.label}: wire accountant ({wire.bytes_total} B) disagrees "
+            f"with trace counters ({cluster.trace.counters.get('bytes', 0)} B)"
+        )
+    wire_stats = {
+        "wire_bytes_total": float(wire.bytes_total),
+        "leader_egress_share": wire.leader_egress_share(),
+        "bytes_per_commit": wire.bytes_per_commit(cluster.collector.committed_blocks()),
+    }
+    return (
+        wall,
+        cluster.scheduler.events_processed,
+        committed,
+        fingerprint,
+        cluster.trace,
+        wire_stats,
+    )
 
 
 def bench_e2e(config: E2EConfig, reps: int) -> List[BenchResult]:
@@ -104,8 +138,9 @@ def bench_e2e(config: E2EConfig, reps: int) -> List[BenchResult]:
     fingerprints: List[str] = []
     traces: List[Trace] = []
     events = committed = 0
+    wire_stats: Dict[str, float] = {}
     for _ in range(reps):
-        wall, events, committed, fingerprint, trace = run_one(config)
+        wall, events, committed, fingerprint, trace, wire_stats = run_one(config)
         walls.append(wall)
         fingerprints.append(fingerprint)
         traces.append(trace)
@@ -127,7 +162,7 @@ def bench_e2e(config: E2EConfig, reps: int) -> List[BenchResult]:
         "sweep_messages": sweep["messages"],
         "sweep_bytes": sweep["bytes"],
     }
-    return [
+    results = [
         summarize(
             f"e2e.{config.label}.events_per_sec",
             "events/s",
@@ -150,6 +185,26 @@ def bench_e2e(config: E2EConfig, reps: int) -> List[BenchResult]:
             meta,
         ),
     ]
+    # Wire-shape gates: exact per-run values (determinism is asserted
+    # above, so reps agree bit-for-bit — repeated only so the stored
+    # shape matches the timing benchmarks).  Direction "lower": more
+    # bytes per run/commit or a more leader-concentrated egress profile
+    # is a bandwidth regression under the paper's model.
+    for wire_name, unit in (
+        ("wire_bytes_total", "B/run"),
+        ("leader_egress_share", "share"),
+        ("bytes_per_commit", "B/commit"),
+    ):
+        results.append(
+            summarize(
+                f"e2e.{config.label}.{wire_name}",
+                unit,
+                "lower",
+                [wire_stats[wire_name]] * reps,
+                meta,
+            )
+        )
+    return results
 
 
 def run_e2e(fast: bool) -> List[BenchResult]:

@@ -22,7 +22,7 @@ from ..measure.stats import LatencySummary
 from ..net.delay import HybridCloudDelayModel
 from .experiment import run_experiment, standard_protocol_config
 from .registry import protocol_names
-from .report import format_table, phase_breakdown_table
+from .report import bandwidth_breakdown_table, format_table, phase_breakdown_table
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -50,6 +50,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=tuple((int(i), b) for i, _, b in
                      (s.partition(":") for s in args.fault)),
         observability=args.obs,
+        # --obs means "show me where the time AND the bytes went": the
+        # wire accountant rides along with the span recorder.
+        wire_accounting=args.obs,
     )
     result = run_experiment(config)
     print(format_table([result.row()]))
@@ -57,6 +60,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.obs:
         print("\nphase-latency breakdown:")
         print(phase_breakdown_table(result))
+        print("\nbandwidth breakdown:")
+        print(bandwidth_breakdown_table(result))
     return 0 if result.safety_ok else 1
 
 

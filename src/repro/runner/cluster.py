@@ -24,6 +24,7 @@ from ..net.delay import DelayModel, HybridCloudDelayModel, WanDelayModel
 from ..net.simnet import SimNetwork
 from ..net.topology import single_az, three_regions
 from ..obs.recorder import SpanRecorder
+from ..obs.wire import WireAccountant
 from ..recovery import MemoryWal, RecoveryManager
 from ..sim.rng import RngFactory
 from ..sim.scheduler import Scheduler
@@ -53,6 +54,8 @@ class Cluster:
     delay_model: DelayModel = None  # type: ignore[assignment]
     #: Span recorder, present iff the config enabled observability.
     obs: Optional[SpanRecorder] = None
+    #: Wire-byte accountant, present iff the config enabled wire accounting.
+    wire: Optional[WireAccountant] = None
 
     def start(self) -> None:
         """Schedule protocol start and workload generation at t=0."""
@@ -94,6 +97,11 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
     rng_factory = RngFactory(config.seed)
     trace = Trace(record_events=config.record_trace)
     obs = SpanRecorder() if config.observability else None
+    wire = (
+        WireAccountant(small_threshold=config.network_config.small_threshold)
+        if config.wire_accounting
+        else None
+    )
     delay_model = make_delay_model(config)
     network = SimNetwork(
         scheduler,
@@ -103,6 +111,7 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
         egress_bandwidth=config.network_config.egress_bandwidth,
         priority_threshold=config.network_config.small_threshold,
         obs=obs,
+        wire=wire,
     )
 
     signers = build_cluster_keys(pconf.signature_scheme, pconf.n)
@@ -182,6 +191,7 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
         honest_ids=honest_ids,
         delay_model=delay_model,
         obs=obs,
+        wire=wire,
     )
 
 

@@ -61,6 +61,22 @@ def summarize(cluster: Cluster) -> ExperimentResult:
                 round(max(g.effective_delta for g in guards) * 1e3, 3),
             ),
         ]
+    wire_snapshot = None
+    if cluster.wire is not None:
+        committed_blocks = collector.committed_blocks()
+        wire_snapshot = cluster.wire.snapshot(
+            meta={
+                "protocol": config.protocol,
+                "seed": config.seed,
+                "committed_blocks": committed_blocks,
+            }
+        )
+        extra = extra + [
+            ("wire_bytes_total", cluster.wire.bytes_total),
+            ("leader_egress_share", round(cluster.wire.leader_egress_share(), 4)),
+            ("bytes_per_commit", round(cluster.wire.bytes_per_commit(committed_blocks), 1)),
+        ]
+
     if config.protocol in ("alterbft", "sync-hotstuff"):
         epoch_changes = max(r.epoch for r in honest_replicas) - 1
     elif config.protocol == "pbft":
@@ -87,6 +103,7 @@ def summarize(cluster: Cluster) -> ExperimentResult:
         offered_rate=config.workload.rate,
         extra=tuple(extra),
         obs=obs_summary,
+        wire=wire_snapshot,
     )
 
 

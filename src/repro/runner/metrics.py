@@ -148,6 +148,9 @@ class ExperimentResult:
     #: stragglers, Δ-headroom); present iff the run enabled
     #: ``ExperimentConfig.observability``.
     obs: Optional["ObsSummary"] = None
+    #: Wire-accounting snapshot (:meth:`repro.obs.wire.WireAccountant.snapshot`);
+    #: present iff the run enabled ``ExperimentConfig.wire_accounting``.
+    wire: Optional[Dict[str, object]] = None
 
     def phase_breakdown_rows(self) -> List[Dict[str, object]]:
         """Aggregate per-phase latency stats (empty without observability)."""

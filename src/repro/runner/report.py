@@ -75,6 +75,41 @@ def phase_breakdown_table(result: ExperimentResult) -> str:
     )
 
 
+def bandwidth_breakdown_table(result: ExperimentResult) -> str:
+    """Per-message-class bandwidth table for a wire-accounted run.
+
+    Renders the :class:`~repro.obs.wire.WireAccountant` snapshot the run
+    carried: bytes/messages per class with phase and δ/Δ small-large
+    split, a per-phase rollup, and the leader-egress / bytes-per-commit
+    headline the paper's bandwidth argument turns on.  Empty-string when
+    the run did not enable wire accounting.
+    """
+    if result.wire is None:
+        return ""
+    from ..obs.wire import class_rows, phase_rows
+
+    snapshot = result.wire
+    parts = [
+        "bytes by message class:",
+        format_table(
+            class_rows(snapshot),
+            ["class", "phase", "msgs", "bytes", "share_%", "small_B", "large_B", "mean_B"],
+        ),
+        "",
+        "bytes by protocol phase:",
+        format_table(phase_rows(snapshot), ["phase", "msgs", "bytes", "share_%"]),
+        "",
+        f"total wire bytes     : {snapshot['totals']['bytes']}",
+        f"leader egress share  : {snapshot['leader_egress_share']:.4f}",
+    ]
+    committed = result.committed_blocks
+    if committed:
+        parts.append(
+            f"bytes per commit     : {snapshot['totals']['bytes'] / committed:.1f}"
+        )
+    return "\n".join(parts)
+
+
 def speedup(base: float, other: float) -> float:
     """How many times smaller ``other`` is than ``base``."""
     if other <= 0:

@@ -33,6 +33,12 @@ class Trace:
         self.counters: Counter = Counter()
         self.bytes_sent_by_node: Counter = Counter()
         self.messages_by_type: Counter = Counter()
+        #: (sender, message class) → bytes — the per-class refinement of
+        #: ``bytes_sent_by_node``.  Deliberately NOT part of
+        #: :meth:`fingerprint`: the golden fingerprints predate it, and
+        #: it is fully derived from the same send stream the hashed
+        #: counters already witness.
+        self.bytes_by_node_class: Counter = Counter()
 
     def emit(self, time: float, kind: str, node: int, **detail: Any) -> None:
         """Record an event (no-op unless ``record_events`` is set)."""
@@ -48,6 +54,7 @@ class Trace:
         self.counters["bytes"] += size
         self.bytes_sent_by_node[sender] += size
         self.messages_by_type[type_name] += 1
+        self.bytes_by_node_class[(sender, type_name)] += size
 
     def events_of(self, kind: str) -> List[TraceEvent]:
         """All recorded events of one kind, in time order."""
@@ -55,11 +62,15 @@ class Trace:
 
     def summary(self) -> Dict[str, Any]:
         """Aggregate view used in experiment reports."""
+        by_node_class: Dict[int, Dict[str, int]] = {}
+        for (sender, type_name), size in self.bytes_by_node_class.items():
+            by_node_class.setdefault(sender, {})[type_name] = size
         return {
             "messages": self.counters.get("messages", 0),
             "bytes": self.counters.get("bytes", 0),
             "by_type": dict(self.messages_by_type),
             "bytes_sent_by_node": dict(self.bytes_sent_by_node),
+            "bytes_by_node_class": by_node_class,
             "counters": dict(self.counters),
         }
 
@@ -74,6 +85,7 @@ class Trace:
         self.counters.update(other.counters)
         self.bytes_sent_by_node.update(other.bytes_sent_by_node)
         self.messages_by_type.update(other.messages_by_type)
+        self.bytes_by_node_class.update(other.bytes_by_node_class)
         if self.record_events:
             self.events.extend(other.events)
         return self

@@ -114,6 +114,57 @@ class TestMetrics:
         assert reg.names("a/") == ["a/x"]
         assert [name for name, _ in reg.histograms("h/")] == ["h/y"]
 
+    def test_registry_merge_counters_disjoint_label_sets(self):
+        """Merging per-replica registries: names present on only one
+        side keep their value, shared names sum."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("drops/peer_1").inc(3)
+        a.counter("shared").inc(2)
+        b.counter("drops/peer_2").inc(5)
+        b.counter("shared").inc(7)
+        assert a.merge(b) is a
+        assert a.counter("drops/peer_1").value == 3
+        assert a.counter("drops/peer_2").value == 5
+        assert a.counter("shared").value == 9
+
+    def test_registry_merge_histograms_and_empty_layouts(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", (1.0, 2.0)).observe(0.5)
+        b.histogram("lat", (1.0, 2.0)).observe(1.5)
+        # A histogram absent on the left is created with the incoming
+        # bounds — merging into an empty registry works.
+        b.histogram("only_b", (4.0, 8.0)).observe(5.0)
+        a.merge(b)
+        assert a.histogram("lat", (1.0, 2.0)).count == 2
+        only_b = a.get("only_b")
+        assert only_b is not None and only_b.bounds == (4.0, 8.0) and only_b.count == 1
+        # Merging an empty histogram changes nothing.
+        c = MetricsRegistry()
+        c.histogram("lat", (1.0, 2.0))
+        a.merge(c)
+        assert a.histogram("lat", (1.0, 2.0)).count == 2
+
+    def test_registry_merge_mismatched_histogram_bounds_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", (1.0, 2.0)).observe(0.5)
+        b.histogram("lat", (1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_registry_merge_gauges_peak_preserving_and_type_conflicts(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(4.0)
+        b.gauge("depth").set(2.0)
+        a.merge(b)
+        assert a.gauge("depth").value == 4.0
+        b.gauge("depth").set(9.0)
+        a.merge(b)
+        assert a.gauge("depth").value == 9.0
+        c = MetricsRegistry()
+        c.counter("depth").inc()
+        with pytest.raises(TypeError):
+            a.merge(c)
+
 
 # ---------------------------------------------------------------------------
 # Phase assembly and clamping
@@ -350,6 +401,29 @@ class TestTraceAggregation:
         # In-place merge returns self for chaining.
         assert a.merge(b) is a
         assert a.bytes_sent_by_node[1] == 10
+
+    def test_summary_breaks_bytes_down_by_node_and_class(self):
+        trace = Trace()
+        trace.count_message(0, "ProposalHeaderMsg", 300)
+        trace.count_message(0, "PayloadMsg", 5000)
+        trace.count_message(1, "VoteMsg", 120)
+        summary = trace.summary()
+        assert summary["bytes_by_node_class"] == {
+            0: {"ProposalHeaderMsg": 300, "PayloadMsg": 5000},
+            1: {"VoteMsg": 120},
+        }
+        # The refinement telescopes back to the per-node totals.
+        for node, per_class in summary["bytes_by_node_class"].items():
+            assert sum(per_class.values()) == summary["bytes_sent_by_node"][node]
+
+    def test_merge_accumulates_per_class_bytes(self):
+        a, b = Trace(), Trace()
+        a.count_message(0, "VoteMsg", 100)
+        b.count_message(0, "VoteMsg", 50)
+        b.count_message(2, "BlameMsg", 10)
+        a.merge(b)
+        assert a.bytes_by_node_class[(0, "VoteMsg")] == 150
+        assert a.bytes_by_node_class[(2, "BlameMsg")] == 10
 
     def test_merge_keeps_events_when_recording(self):
         a, b = Trace(record_events=True), Trace(record_events=True)

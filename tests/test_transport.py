@@ -102,16 +102,71 @@ class TestOutboundQueue:
         assert list(node._outbound[1]) == [bytes([3]), bytes([4])]
         assert node.dropped[1] == 3
 
+    def test_drop_and_depth_metrics(self):
+        """Drop-oldest overflow and queue depth surface in the metrics
+        registry, not just the legacy ``dropped`` dict."""
+        from repro.obs.metrics import MetricsRegistry
+
+        peers = local_peer_map(2, base_port=BASE_PORT + 105)
+        registry = MetricsRegistry()
+        node = AsyncReplicaNode(
+            make_replica(0), peers, outbound_limit=2, metrics=registry
+        )
+        for i in range(5):
+            node._enqueue(1, bytes([i]))
+        assert registry.counter("transport/queue_drops/peer_1").value == 3
+        assert registry.counter("transport/queue_drops_total").value == 3
+        assert registry.gauge("transport/queue_depth/peer_1").value == 2
+
+    def test_metrics_optional(self):
+        """No registry attached: the hot path stays a single attribute
+        test and only the legacy dict records drops."""
+        peers = local_peer_map(2, base_port=BASE_PORT + 106)
+        node = AsyncReplicaNode(make_replica(0), peers, outbound_limit=1)
+        node._enqueue(1, b"a")
+        node._enqueue(1, b"b")
+        assert node.metrics is None
+        assert node.dropped[1] == 1
+
     def test_start_tolerates_unreachable_peers(self):
         """Refused peers no longer fail startup: dialing retries in the
         background while the protocol runs."""
+        from repro.obs.metrics import MetricsRegistry
 
         async def run():
             peers = local_peer_map(3, base_port=BASE_PORT + 110)
-            node = AsyncReplicaNode(make_replica(0), peers)
+            registry = MetricsRegistry()
+            node = AsyncReplicaNode(make_replica(0), peers, metrics=registry)
             await node.start()  # peers 1 and 2 are not listening
             assert node._writers == {}
             await asyncio.sleep(0.05)
+            await node.stop()
+            # Each unreachable peer was dialed at least once, and every
+            # attempt is on the books.
+            assert registry.counter("transport/reconnects/peer_1").value >= 1
+            assert registry.counter("transport/reconnects/peer_2").value >= 1
+            assert registry.counter("transport/reconnects_total").value >= 2
+
+        asyncio.run(run())
+
+    def test_wire_accountant_taps_codec_bytes(self):
+        """The real transport accounts codec bytes (length prefix
+        excluded), so real and simulated byte profiles compare directly."""
+        from repro.net.transport import encode_frame
+        from repro.obs.wire import WireAccountant
+
+        async def run():
+            peers = local_peer_map(2, base_port=BASE_PORT + 130)
+            wire = WireAccountant(small_threshold=4096)
+            node = AsyncReplicaNode(make_replica(0), peers, wire=wire)
+            node.loop = asyncio.get_running_loop()
+            msg = ("queued", 42)
+            node.send(1, msg)  # peer not listening: queued, still accounted
+            assert wire.bytes_total == len(encode_frame(msg)) - 4
+            assert wire.link_bytes[(0, 1)] == wire.bytes_total
+            # Loopback delivery never hits the wire and is not accounted.
+            node.send(0, msg)
+            assert wire.msgs_total == 1
             await node.stop()
 
         asyncio.run(run())
