@@ -42,6 +42,9 @@ def run(fast: bool = True) -> ExperimentOutput:
                 max_batch=max_batch,
                 duration=duration,
                 warmup=2.0,
+                # Wire accounting on the alterbft rows gives the
+                # blob-vs-chunked bytes-per-commit comparison an axis.
+                wire_accounting=protocol == "alterbft",
             )
             rows.append(
                 run_and_row(
@@ -50,16 +53,43 @@ def run(fast: bool = True) -> ExperimentOutput:
                     delta_big_ms=round(delta_big(size) * 1e3, 1),
                 )
             )
+        # The chunked twin of the alterbft row: growing blocks are where
+        # erasure-coded dissemination pays — the leader ships each
+        # replica one share instead of the whole blob.
+        chunked = make_config(
+            "alterbft",
+            f=1,
+            rate=None,  # saturation
+            tx_size=tx_size,
+            max_batch=max_batch,
+            duration=duration,
+            warmup=2.0,
+            wire_accounting=True,
+            dissemination=True,
+        )
+        rows.append(
+            run_and_row(
+                chunked,
+                block_kb=round(size / 1024, 1),
+                delta_big_ms=round(delta_big(size) * 1e3, 1),
+                variant="chunked",
+            )
+        )
 
-    def block_lat(proto: str, kb: float) -> float:
+    def pick(proto: str, kb: float, key: str, variant: str = "") -> float:
         return next(
-            float(r["blk_lat_p50_ms"])
+            float(r[key])
             for r in rows
-            if r["protocol"] == proto and r["block_kb"] == kb
+            if r["protocol"] == proto
+            and r["block_kb"] == kb
+            and r.get("variant", "") == variant
         )
 
     biggest = max(r["block_kb"] for r in rows)
-    gap = ratio(block_lat("sync-hotstuff", biggest), block_lat("alterbft", biggest))
+    gap = ratio(
+        pick("sync-hotstuff", biggest, "blk_lat_p50_ms"),
+        pick("alterbft", biggest, "blk_lat_p50_ms"),
+    )
     return ExperimentOutput(
         experiment_id="E4",
         title="Latency/throughput vs block size (saturation)",
@@ -67,6 +97,12 @@ def run(fast: bool = True) -> ExperimentOutput:
         headline={
             "largest_block_kb": biggest,
             "sync_hotstuff_over_alterbft_at_largest_x": round(gap, 1),
+            "alterbft_egress_share_at_largest": pick(
+                "alterbft", biggest, "leader_egress_share"
+            ),
+            "alterbft_chunked_egress_share_at_largest": pick(
+                "alterbft", biggest, "leader_egress_share", variant="chunked"
+            ),
         },
         notes=(
             "The latency gap between AlterBFT and Sync HotStuff widens "

@@ -3,8 +3,10 @@
 ``python -m repro.check`` runs the default grid (336 scenarios across
 {AlterBFT, Sync HotStuff} × {fault behaviors} × {adversary profiles} ×
 seeds) plus the pipelined family (120 alterbft scenarios at pipeline
-depths 2 and 4, adding the cross-in-flight attacks), expecting **zero**
-invariant violations, then demonstrates that
+depths 2 and 4, adding the cross-in-flight attacks) plus the
+dissemination family (36 alterbft scenarios with chunked erasure-coded
+payloads on, adding chunk withholding and corruption), expecting
+**zero** invariant violations, then demonstrates that
 the harness detects real violations by re-running the E10 relay-off
 ablation until the agreement checker catches the fork — printing a seed
 and the exact replay command, and proving determinism by re-running the
@@ -36,6 +38,7 @@ from .invariants import (
 )
 from .scenarios import (
     BEHAVIORS,
+    DISSEM_BEHAVIORS,
     FAULTY_ID,
     GUARD_GRACE,
     GUARD_SAFE_FACTOR,
@@ -48,6 +51,7 @@ from .scenarios import (
     Scenario,
     build_config,
     default_grid,
+    dissem_grid,
     e10_demo_scenario,
     liveness_gap_bound,
     parse_scenario_id,
@@ -247,6 +251,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run only the pipelined (depth > 1) scenario family",
     )
     parser.add_argument(
+        "--dissem-seeds",
+        type=int,
+        default=2,
+        help="seeds per combo in the dissemination family (default 2 → 36 scenarios)",
+    )
+    parser.add_argument(
+        "--no-dissem",
+        action="store_true",
+        help="skip the dissemination (chunked payload) scenario family",
+    )
+    parser.add_argument(
+        "--dissem-only",
+        action="store_true",
+        help="run only the dissemination (chunked payload) scenario family",
+    )
+    parser.add_argument(
         "--replay", metavar="SCENARIO_ID", help="re-run one scenario and print its verdict"
     )
     parser.add_argument(
@@ -277,10 +297,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     seeds = args.seeds
     pipeline_seeds = args.pipeline_seeds
+    dissem_seeds = args.dissem_seeds
     profiles = args.profiles
     if args.smoke:
         seeds = min(seeds, 2)
         pipeline_seeds = min(pipeline_seeds, 1)
+        dissem_seeds = min(dissem_seeds, 1)
         profiles = [p for p in profiles if p != "stall-large"]
     for protocol in args.protocols:
         if protocol not in protocol_names():
@@ -289,10 +311,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
     behaviors = args.behaviors
     if behaviors is not None:
+        known = PIPELINE_BEHAVIORS + tuple(
+            b for b in DISSEM_BEHAVIORS if b not in PIPELINE_BEHAVIORS
+        )
         for behavior in behaviors:
-            if behavior not in PIPELINE_BEHAVIORS:
+            if behavior not in known:
                 raise ConfigError(
-                    f"unknown behavior {behavior!r}; known: {PIPELINE_BEHAVIORS}"
+                    f"unknown behavior {behavior!r}; known: {known}"
                 )
     try:
         depths = [int(d) for d in args.depths]
@@ -303,7 +328,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             raise ConfigError(f"--depths entries must be >= 2, got {depth}")
 
     grid: List[Scenario] = []
-    if not args.pipelined_only:
+    only_flags = args.pipelined_only or args.dissem_only
+    if not only_flags:
         main_behaviors = (
             list(BEHAVIORS)
             if behaviors is None
@@ -318,16 +344,43 @@ def _dispatch(args: argparse.Namespace) -> int:
                     profiles=profiles,
                 )
             )
-    if not args.no_pipelined and "alterbft" in args.protocols:
-        pipelined_behaviors = list(PIPELINE_BEHAVIORS) if behaviors is None else behaviors
-        grid.extend(
-            pipelined_grid(
-                seeds_per_combo=pipeline_seeds,
-                behaviors=pipelined_behaviors,
-                profiles=profiles,
-                depths=depths,
-            )
+    if (
+        not args.no_pipelined
+        and not args.dissem_only
+        and "alterbft" in args.protocols
+    ):
+        pipelined_behaviors = (
+            list(PIPELINE_BEHAVIORS)
+            if behaviors is None
+            else [b for b in behaviors if b in PIPELINE_BEHAVIORS]
         )
+        if pipelined_behaviors:
+            grid.extend(
+                pipelined_grid(
+                    seeds_per_combo=pipeline_seeds,
+                    behaviors=pipelined_behaviors,
+                    profiles=profiles,
+                    depths=depths,
+                )
+            )
+    if (
+        not args.no_dissem
+        and not args.pipelined_only
+        and "alterbft" in args.protocols
+    ):
+        dissem_behaviors = (
+            list(DISSEM_BEHAVIORS)
+            if behaviors is None
+            else [b for b in behaviors if b in DISSEM_BEHAVIORS]
+        )
+        if dissem_behaviors:
+            grid.extend(
+                dissem_grid(
+                    seeds_per_combo=dissem_seeds,
+                    behaviors=dissem_behaviors,
+                    profiles=profiles,
+                )
+            )
     if args.list:
         for scenario in grid:
             print(scenario.scenario_id)
@@ -337,10 +390,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             "empty scenario grid — check --seeds/--protocols/--behaviors/--profiles"
         )
 
-    pipelined_count = sum(1 for s in grid if s.pipeline_depth > 1)
+    dissem_count = sum(1 for s in grid if s.dissemination)
+    pipelined_count = sum(1 for s in grid if s.pipeline_depth > 1 and not s.dissemination)
+    main_count = len(grid) - pipelined_count - dissem_count
     print(
         f"repro.check: sweeping {len(grid)} scenarios "
-        f"({len(grid) - pipelined_count} main + {pipelined_count} pipelined, jobs={args.jobs})"
+        f"({main_count} main + {pipelined_count} pipelined + {dissem_count} dissem, "
+        f"jobs={args.jobs})"
     )
     results = run_sweep(grid, jobs=args.jobs)
     failures = _print_report(results)

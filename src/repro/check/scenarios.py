@@ -52,6 +52,18 @@ PIPELINE_BEHAVIORS = BEHAVIORS + ("equivocate-inflight", "withhold-suffix")
 #: implements the chained leader, so the family is alterbft-only.
 PIPELINE_DEPTHS = (2, 4)
 
+#: Behaviors swept in the *dissemination* scenario family (chunked
+#: erasure-coded payloads on): the fault-free control plus the two
+#: chunk-level attacks — a leader shipping fewer shares than the
+#: reconstruction threshold, and a leader corrupting one victim's share
+#: (detected by the Merkle check, recovered by pulling from peers).
+DISSEM_BEHAVIORS = ("none", "withhold_chunks", "corrupt_chunk")
+
+#: Pipeline depths swept in the dissemination family: the blob-free
+#: payload path must hold both for the plain leader and composed with
+#: the chained leader streaming several uncommitted proposals.
+DISSEM_DEPTHS = (1, 2)
+
 #: The single Byzantine/faulty replica.  Replica 1 leads epoch 1 under
 #: round-robin rotation, so faulty-leader paths trigger immediately.
 FAULTY_ID = 1
@@ -130,6 +142,7 @@ class Scenario:
     relay_headers: bool = True
     duration: float = DEFAULT_DURATION
     pipeline_depth: int = 1
+    dissemination: bool = False
 
     @property
     def scenario_id(self) -> str:
@@ -140,6 +153,8 @@ class Scenario:
             parts.append(f"dur{self.duration:g}")
         if self.pipeline_depth != 1:
             parts.append(f"pd{self.pipeline_depth}")
+        if self.dissemination:
+            parts.append("dissem")
         return ":".join(parts)
 
 
@@ -158,9 +173,12 @@ def parse_scenario_id(scenario_id: str) -> Scenario:
     relay_headers = True
     duration = DEFAULT_DURATION
     pipeline_depth = 1
+    dissemination = False
     for flag in parts[4:]:
         if flag == "norelay":
             relay_headers = False
+        elif flag == "dissem":
+            dissemination = True
         elif flag.startswith("dur"):
             try:
                 duration = float(flag[3:])
@@ -183,6 +201,7 @@ def parse_scenario_id(scenario_id: str) -> Scenario:
         relay_headers=relay_headers,
         duration=duration,
         pipeline_depth=pipeline_depth,
+        dissemination=dissemination,
     )
 
 
@@ -197,6 +216,10 @@ def build_config(scenario: Scenario) -> ExperimentConfig:
         relay_headers=scenario.relay_headers,
         pipeline_depth=scenario.pipeline_depth,
     )
+    if scenario.dissemination or scenario.behavior in ("withhold_chunks", "corrupt_chunk"):
+        # The chunk-level behaviors only exist on the chunked payload
+        # path, so they imply the flag even in hand-written replay ids.
+        pconf = pconf.with_(dissemination=True)
     if scenario.behavior == "none":
         faults: Tuple[Tuple[int, str], ...] = ()
     elif scenario.behavior == "crash":
@@ -307,6 +330,40 @@ def pipelined_grid(
                             profile=profile,
                             seed=seed,
                             pipeline_depth=depth,
+                        )
+                    )
+    return grid
+
+
+def dissem_grid(
+    seeds_per_combo: int = 2,
+    behaviors: Sequence[str] = DISSEM_BEHAVIORS,
+    profiles: Sequence[str] = PROFILES,
+    depths: Sequence[int] = DISSEM_DEPTHS,
+    first_seed: int = 1,
+) -> List[Scenario]:
+    """The dissemination scenario family: alterbft × behavior × profile × depth.
+
+    Chunked erasure-coded payloads replace the leader's payload blob, so
+    the family re-proves liveness and safety when the leader withholds
+    shares below the reconstruction threshold (epoch change must fire)
+    or corrupts one victim's share (the Merkle check must catch it and
+    the victim must recover by pulling from peers, without an epoch
+    change).  The defaults give 3 × 3 × 2 × 2 = 36 scenarios.
+    """
+    grid = []
+    for behavior in behaviors:
+        for profile in profiles:
+            for depth in depths:
+                for seed in range(first_seed, first_seed + seeds_per_combo):
+                    grid.append(
+                        Scenario(
+                            protocol="alterbft",
+                            behavior=behavior,
+                            profile=profile,
+                            seed=seed,
+                            pipeline_depth=depth,
+                            dissemination=True,
                         )
                     )
     return grid

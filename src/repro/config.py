@@ -67,6 +67,15 @@ class ProtocolConfig:
             variants (one aggregate signature + signer bitmap) instead of
             f+1 raw signatures — smaller certificate messages, single
             aggregate verification.  Off by default (golden fingerprint).
+        dissemination: AlterBFT only — disseminate payloads as
+            erasure-coded, Merkle-rooted chunk shares instead of one
+            blob broadcast: the leader sends each replica one share of
+            size payload/(f+1) and replicas pull the remaining shares
+            from peers (provider rotation tolerates Byzantine
+            withholding), reconstructing — and only then voting — once
+            any f+1 verified shares arrive.  Off by default: the blob
+            path is kept byte-identical for the golden trace
+            fingerprint.
         checkpoint_interval: every K committed blocks, sign a checkpoint
             over (height, cumulative ledger digest); f+1 matching
             signatures form a checkpoint certificate that lets the block
@@ -119,6 +128,7 @@ class ProtocolConfig:
     signature_scheme: str = "hashsig"
     crypto_batch: bool = False
     crypto_aggregate: bool = False
+    dissemination: bool = False
     checkpoint_interval: int = 0
     catchup_retry: float = 0.25
     guard_enabled: bool = False
@@ -329,6 +339,10 @@ class ExperimentConfig:
             self.protocol == "alterbft" or self.protocol_config.pipeline_depth == 1,
             "pipeline_depth > 1 is only supported by alterbft "
             f"(got {self.protocol_config.pipeline_depth} for {self.protocol!r})",
+        )
+        _require(
+            self.protocol == "alterbft" or not self.protocol_config.dissemination,
+            f"dissemination is only supported by alterbft (got {self.protocol!r})",
         )
         self.network_config.validate()
         self.workload.validate()

@@ -91,6 +91,12 @@ class BaseReplica:
     #: path is observationally inert.
     guard: Optional["SynchronyMonitor"] = None
 
+    #: Chunked payload dissemination (set by the cluster builder when
+    #: ``ProtocolConfig.dissemination``).  ``None`` keeps the blob
+    #: payload path byte-identical to the golden trace — every
+    #: dissemination site is a single attribute test.
+    dissem: Optional["DisseminationManager"] = None
+
     def __init__(
         self,
         replica_id: int,

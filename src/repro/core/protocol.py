@@ -96,6 +96,9 @@ from ..types.messages import (
     BlockRequestMsg,
     BlockResponseMsg,
     CheckpointVoteMsg,
+    ChunkRequestMsg,
+    ChunkResponseMsg,
+    ChunkShareMsg,
     DeltaAdjustCertMsg,
     DeltaAdjustMsg,
     EquivocationProofMsg,
@@ -131,6 +134,7 @@ class AlterBFTReplica(BaseReplica):
     WIRE_PHASES = (
         "propose",
         "payload",
+        "dissemination",
         "vote",
         "epoch_change",
         "repair",
@@ -161,6 +165,9 @@ class AlterBFTReplica(BaseReplica):
         GuardProbeEchoMsg: "on_guard_probe_echo",
         DeltaAdjustMsg: "on_delta_adjust",
         DeltaAdjustCertMsg: "on_delta_adjust_cert",
+        ChunkShareMsg: "on_chunk_share",
+        ChunkRequestMsg: "on_chunk_request",
+        ChunkResponseMsg: "on_chunk_response",
     }
 
     def __init__(
@@ -317,12 +324,6 @@ class AlterBFTReplica(BaseReplica):
             signature=self.sign_proposal(block.block_hash),
             justify=justify,
         )
-        payload_msg = PayloadMsg(
-            epoch=self.epoch,
-            height=block.height,
-            block_hash=block.block_hash,
-            payload=block.payload,
-        )
         self._inflight.append((block.height, block.block_hash))
         self._proposed_in_epoch = True
         self.trace("propose", epoch=self.epoch, height=block.height, txs=len(batch))
@@ -335,9 +336,20 @@ class AlterBFTReplica(BaseReplica):
                 txs=len(batch),
                 inflight=len(self._inflight),
             )
-        # Header first (small, Δ-timely), payload second (large).
+        # Header first (small, Δ-timely), payload second (large) — either
+        # as one blob per replica or as erasure-coded chunk shares.
         self.broadcast(header_msg)
-        self.broadcast(payload_msg)
+        if self.dissem is not None:
+            self.dissem.disseminate(block)
+        else:
+            self.broadcast(
+                PayloadMsg(
+                    epoch=self.epoch,
+                    height=block.height,
+                    block_hash=block.block_hash,
+                    payload=block.payload,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Header handling: verification, conflict detection, relaying
@@ -431,6 +443,10 @@ class AlterBFTReplica(BaseReplica):
                 "payload_fetch",
                 header.block_hash,
             )
+            if self.dissem is not None:
+                # Chunked dissemination: start pulling shares even if the
+                # leader never pushes us one.
+                self.dissem.on_header(header)
         conflict = self._find_conflict(msg)
         if conflict is not None:
             self._report_equivocation(conflict, msg)
@@ -1030,6 +1046,37 @@ class AlterBFTReplica(BaseReplica):
         if self.guard is not None:
             self.guard.on_probe_timer()
 
+    # ------------------------------------------------------------------
+    # Chunked payload dissemination (see repro.dissem)
+    #
+    # Inert unless the cluster builder attached a DisseminationManager —
+    # every entry point is a single None test.
+    # ------------------------------------------------------------------
+
+    def on_chunk_share(self, src: int, msg: ChunkShareMsg) -> None:
+        if self.dissem is not None:
+            self.dissem.on_chunk_share(src, msg)
+
+    def on_chunk_request(self, src: int, msg: ChunkRequestMsg) -> None:
+        if self.dissem is not None:
+            self.dissem.on_chunk_request(src, msg)
+
+    def on_chunk_response(self, src: int, msg: ChunkResponseMsg) -> None:
+        if self.dissem is not None:
+            self.dissem.on_chunk_response(src, msg)
+
+    def _timer_dissem_pull(self, payload: Digest) -> None:
+        if self.dissem is not None:
+            self.dissem.on_pull_timer(payload)
+
+    def _timer_dissem_retry(self, payload: Tuple[Digest, int]) -> None:
+        if self.dissem is not None:
+            self.dissem.on_retry(payload)
+
+    def _timer_dissem_nudge(self, payload: Tuple[Digest, int]) -> None:
+        if self.dissem is not None:
+            self.dissem.on_nudge(payload)
+
     def drop_block_indexes(self, removed: List[Digest]) -> None:
         """Forget per-block indexes for checkpoint-pruned blocks."""
         removed_set = set(removed)
@@ -1040,6 +1087,8 @@ class AlterBFTReplica(BaseReplica):
             self._payload_requested.discard(block_hash)
             self._header_requested.discard(block_hash)
         self._window_clean = {w for w in self._window_clean if w[1] not in removed_set}
+        if self.dissem is not None:
+            self.dissem.drop_blocks(removed_set)
 
     def restart_from_wal(self) -> None:
         """Reconstruct volatile state from the WAL after a crash.

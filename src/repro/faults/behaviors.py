@@ -27,6 +27,18 @@ Available behaviors:
   payload, so withholding degenerates to suppressing proposal-class
   messages toward every peer (the cluster sees a mute leader and must
   change views).
+* ``withhold_chunks`` — chunked-dissemination withholding (AlterBFT with
+  ``ProtocolConfig.dissemination``): the Byzantine leader headers
+  normally but ships fewer than f+1 chunk shares — below the erasure
+  code's reconstruction threshold — and refuses chunk and payload-repair
+  requests.  Honest replicas can pull forever and never reconstruct:
+  the epoch must time out and the next leader restores liveness.
+* ``corrupt_chunk`` — gray chunk corruption (AlterBFT with
+  ``ProtocolConfig.dissemination``): the leader bit-flips the one share
+  it pushes to a single victim replica but answers pull requests
+  honestly.  The Merkle check must reject the flipped share on arrival
+  and the victim must reconstruct entirely from peer pulls — no epoch
+  change, no liveness loss.
 * ``bad-vote`` — Byzantine voter: every outbound vote carries a
   corrupted (well-formed but invalid) signature.  Against an eager
   verifier each vote is rejected on arrival; against the lazy batched
@@ -73,8 +85,11 @@ from ..sim.scheduler import Scheduler
 from ..types.block import Block, make_block
 from ..types.certificates import QuorumCertificate, Vote
 from ..types.messages import (
+    ChunkResponseMsg,
+    ChunkShareMsg,
     HSProposalMsg,
     PayloadMsg,
+    PayloadResponseMsg,
     PBFTPrepareMsg,
     PBFTPrePrepareMsg,
     ProposalHeaderMsg,
@@ -152,6 +167,10 @@ def apply_behavior(
             _apply_withhold_proposals(replica, network)
         else:
             _apply_withhold_payload(replica)
+    elif name == "withhold_chunks":
+        _apply_withhold_chunks(replica, network)
+    elif name == "corrupt_chunk":
+        _apply_corrupt_chunk(replica)
     elif name == "bad-vote":
         _apply_bad_vote(replica)
     elif name == "delay_send":
@@ -507,6 +526,103 @@ def _apply_withhold_payload(replica: BaseReplica) -> None:
 
     replica._propose_block = propose_header_only  # type: ignore[method-assign]
     replica.on_payload_request = deny_payload_request  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------------
+# Chunked-dissemination faults (AlterBFT + ProtocolConfig.dissemination)
+# ----------------------------------------------------------------------
+
+
+def _require_dissem_alterbft(replica: BaseReplica, behavior: str) -> "AlterBFTReplica":
+    if isinstance(replica, SyncHotStuffReplica) or not isinstance(replica, AlterBFTReplica):
+        raise ConfigError(
+            f"{behavior} behavior requires an AlterBFT replica, "
+            f"got {type(replica).__name__}"
+        )
+    if not replica.config.dissemination:
+        raise ConfigError(
+            f"{behavior} behavior requires ProtocolConfig.dissemination"
+        )
+    return replica
+
+
+def _apply_withhold_chunks(target: BaseReplica, network: SimNetwork) -> None:
+    """Ship fewer chunk shares than the reconstruction threshold.
+
+    The leader's dissemination runs normally but the network filter lets
+    only the first ``f`` :class:`ChunkShareMsg` per block out — one short
+    of the erasure code's k = f+1 — and silences every repair answer the
+    leader could give (chunk responses and blob payload responses).
+    Honest replicas hold at most f distinct shares between them, so no
+    amount of pulling reconstructs: the negative control.  Liveness must
+    come from the epoch change.
+    """
+    replica = _require_dissem_alterbft(target, "withhold_chunks")
+    faulty_id = replica.replica_id
+    budget = replica.config.f
+    shipped: Dict[bytes, int] = {}
+
+    def suppress(src: int, dst: int, msg: object, size: int) -> bool:
+        if src != faulty_id:
+            return True
+        if isinstance(msg, ChunkShareMsg):
+            count = shipped.get(msg.block_hash, 0)
+            if count >= budget:
+                return False
+            shipped[msg.block_hash] = count + 1
+            return True
+        return not isinstance(msg, (ChunkResponseMsg, PayloadResponseMsg, PayloadMsg))
+
+    network.add_filter(suppress)
+
+
+def _apply_corrupt_chunk(target: BaseReplica) -> None:
+    """Bit-flip the one share pushed to a single victim replica.
+
+    A gray fault: the leader is honest on every link except the victim's
+    pushed share, and it still answers pull requests correctly.  The
+    flipped share must fail the Merkle check on arrival (it never enters
+    the victim's share set) and the victim must reconstruct entirely
+    from peer pulls — commit latency barely moves and no epoch changes.
+    """
+    import dataclasses
+
+    replica = _require_dissem_alterbft(target, "corrupt_chunk")
+    victim = 0 if replica.replica_id != 0 else 1
+    original_bind = replica.bind
+
+    def corrupt(dst: int, msg: object) -> object:
+        if dst == victim and isinstance(msg, ChunkShareMsg) and msg.share:
+            bad_share = msg.share[:-1] + bytes([msg.share[-1] ^ 0x01])
+            return dataclasses.replace(msg, share=bad_share)
+        return msg
+
+    class _CorruptChunkContext:
+        def __init__(self, inner) -> None:  # type: ignore[no-untyped-def]
+            self._inner = inner
+            self.node_id = inner.node_id
+            self.n = inner.n
+
+        @property
+        def now(self) -> float:
+            return self._inner.now
+
+        def send(self, dst: int, msg: object) -> None:
+            self._inner.send(dst, corrupt(dst, msg))
+
+        def broadcast(self, msg: object, include_self: bool = True) -> None:
+            self._inner.broadcast(msg, include_self)
+
+        def set_timer(self, d: float, tag: str, payload=None):  # type: ignore[no-untyped-def]
+            return self._inner.set_timer(d, tag, payload)
+
+        def trace(self, kind: str, **detail) -> None:  # type: ignore[no-untyped-def]
+            self._inner.trace(kind, **detail)
+
+    def bind(ctx) -> None:  # type: ignore[no-untyped-def]
+        original_bind(_CorruptChunkContext(ctx))
+
+    replica.bind = bind  # type: ignore[method-assign]
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,8 @@ Subcommands:
   declared ``WIRE_PHASES`` contract.
 * ``bandwidth`` — who sent the bytes: per-node egress, heaviest links,
   and the leader-egress share the paper's bandwidth argument turns on.
+* ``chunks`` — chunked-dissemination drill-down: per-chunk-class bytes
+  vs the blob payload path, share sizes, and the push/pull split.
 * ``queues`` — egress backpressure samples (simulated bandwidth-limit
   queueing) per node.
 * ``validate`` — structural validation of JSONL, Chrome-trace, and wire
@@ -66,6 +68,7 @@ from .export import (
 from .recorder import SpanRecorder
 from .wire import (
     WIRE_PHASE_NAMES,
+    chunk_rows,
     class_rows,
     link_rows,
     phase_rows,
@@ -133,6 +136,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
             checkpoint_interval=args.checkpoint_interval,
             guard_enabled=args.guard,
             pipeline_depth=args.pipeline_depth,
+            dissemination=args.dissemination,
         ),
         observability=True,
         wire_accounting=args.wire,
@@ -454,6 +458,31 @@ def _cmd_bandwidth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chunks(args: argparse.Namespace) -> int:
+    snapshot = read_wire_jsonl(args.snapshot)
+    rows = chunk_rows(snapshot)
+    if not rows:
+        print("no dissemination traffic in snapshot (flag off, or a blob run)")
+        return 1
+    print("chunked dissemination by message class:")
+    display = [
+        {k: ("-" if v is None else v) for k, v in row.items()} for row in rows
+    ]
+    print(format_table(display))
+    total = max(snapshot["totals"]["bytes"], 1)
+    push = sum(r["bytes"] for r in rows if r["class"] == "ChunkShareMsg")
+    pull = sum(r["bytes"] for r in rows if r["class"] == "ChunkResponseMsg")
+    dissem_total = sum(r["bytes"] for r in rows)
+    print()
+    print(f"push (leader shares) : {push} B")
+    print(f"pull (peer responses): {pull} B "
+          f"({pull / max(push, 1):.2f}x the leader's share egress)")
+    print(f"dissemination total  : {dissem_total} B "
+          f"({100.0 * dissem_total / total:.1f}% of all wire bytes)")
+    print(f"leader egress share  : {snapshot['leader_egress_share']:.4f}")
+    return 0
+
+
 def _cmd_queues(args: argparse.Namespace) -> int:
     snapshot = read_wire_jsonl(args.snapshot)
     rows = queue_rows(snapshot)
@@ -559,6 +588,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="chained-leader window size (alterbft only; default 1 = classic)",
     )
     record_p.add_argument(
+        "--dissemination",
+        action="store_true",
+        help="disseminate payloads as erasure-coded chunk shares (alterbft only)",
+    )
+    record_p.add_argument(
         "--wire",
         action="store_true",
         help="also run the wire-byte accountant and export wire.jsonl/wire.prom",
@@ -616,6 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
     bandwidth_p.add_argument("snapshot", help="wire.jsonl from `record --wire`")
     bandwidth_p.add_argument("--top", type=int, default=10, help="links shown")
     bandwidth_p.set_defaults(func=_cmd_bandwidth)
+
+    chunks_p = sub.add_parser(
+        "chunks", help="chunked-dissemination drill-down: push/pull byte split"
+    )
+    chunks_p.add_argument("snapshot", help="wire.jsonl from `record --wire`")
+    chunks_p.set_defaults(func=_cmd_chunks)
 
     queues_p = sub.add_parser(
         "queues", help="egress backpressure samples per node"

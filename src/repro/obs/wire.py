@@ -10,8 +10,8 @@ along five axes at once:
 * **link** — (sender, receiver) pair;
 * **message class** — the codec-registered wire type;
 * **size class** — small (≤ the hybrid model's δ threshold) vs large;
-* **protocol phase** — propose / payload / vote / epoch_change / repair /
-  recovery / guard / measure / client;
+* **protocol phase** — propose / payload / dissemination / vote /
+  epoch_change / repair / recovery / guard / measure / client;
 * **block coordinates** — epoch and height, where the message names them.
 
 Each axis *telescopes*: its per-key byte (and message) counters sum
@@ -59,6 +59,7 @@ UNATTRIBUTED = -1
 WIRE_PHASE_NAMES: Tuple[str, ...] = (
     "propose",
     "payload",
+    "dissemination",
     "vote",
     "epoch_change",
     "repair",
@@ -71,6 +72,7 @@ WIRE_PHASE_NAMES: Tuple[str, ...] = (
 
 
 def _phase_map() -> Dict[str, str]:
+    from ..dissem import DISSEM_WIRE_CLASSES
     from ..guard.monitor import GUARD_WIRE_CLASSES
 
     mapping = {
@@ -115,10 +117,13 @@ def _phase_map() -> Dict[str, str]:
         "ClientRequestMsg": "client",
         "ClientReplyMsg": "client",
     }
-    # The guard module owns its wire-class set — the phase map follows it
-    # so a new guard message cannot silently land in "other".
+    # The guard and dissemination modules own their wire-class sets — the
+    # phase map follows them so a new message cannot silently land in
+    # "other".
     for name in GUARD_WIRE_CLASSES:
         mapping[name] = "guard"
+    for name in DISSEM_WIRE_CLASSES:
+        mapping[name] = "dissemination"
     return mapping
 
 
@@ -705,6 +710,39 @@ def link_rows(snapshot: Dict[str, Any], top: int = 10) -> List[Dict[str, object]
         }
         for row in rows
     ]
+
+
+def chunk_rows(snapshot: Dict[str, Any]) -> List[Dict[str, object]]:
+    """Dissemination drill-down: one row per chunk message class.
+
+    ``vs_payload_%`` relates each class to the blob path it replaces —
+    the sum over ``ChunkShareMsg`` + ``ChunkResponseMsg`` is the chunked
+    equivalent of the ``payload`` phase, so comparing the two runs' rows
+    shows directly where the leader's egress went.
+    """
+    total = max(snapshot["totals"]["bytes"], 1)
+    payload_bytes = sum(
+        row["bytes"] for row in snapshot["phases"] if row["phase"] == "payload"
+    )
+    rows = []
+    for row in snapshot["classes"]:
+        if row["phase"] != "dissemination":
+            continue
+        hist = row["hist"]
+        rows.append(
+            {
+                "class": row["class"],
+                "msgs": row["msgs"],
+                "bytes": row["bytes"],
+                "share_%": round(100.0 * row["bytes"] / total, 1),
+                "vs_payload_%": round(100.0 * row["bytes"] / max(payload_bytes, 1), 1)
+                if payload_bytes
+                else None,
+                "mean_B": round(hist["mean"], 1),
+                "max_B": int(hist["max"]),
+            }
+        )
+    return sorted(rows, key=lambda r: -int(r["bytes"]))  # type: ignore[call-overload]
 
 
 def queue_rows(snapshot: Dict[str, Any]) -> List[Dict[str, object]]:

@@ -66,6 +66,18 @@ FULL_CONFIGS: Tuple[E2EConfig, ...] = (
     # meaningful where leader fan-out dominates, which needs a cluster
     # larger than the E3 points' n=3/n=7.
     E2EConfig("e5_n9_f4", rate=1000.0, f=4, duration=3.0, seed=5),
+    # The chunked twin of the E5 point: erasure-coded pull-based
+    # dissemination on.  Gating its leader-egress share and bytes per
+    # commit against a stored baseline keeps the dissemination layer's
+    # bandwidth win from silently eroding.
+    E2EConfig(
+        "e5_n9_f4_dissem",
+        rate=1000.0,
+        f=4,
+        duration=3.0,
+        seed=5,
+        overrides=(("dissemination", True),),
+    ),
 )
 
 #: The fast (CI smoke) subset runs the same operating point as the full

@@ -16,6 +16,7 @@ from ..consensus.context import SimContext
 from ..consensus.replica import BaseReplica
 from ..core.protocol import AlterBFTReplica
 from ..crypto.keystore import build_cluster_keys
+from ..dissem import DisseminationManager
 from ..faults.behaviors import apply_behavior, parse_behavior
 from ..guard import SynchronyMonitor
 from ..mempool.mempool import Mempool
@@ -158,6 +159,8 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
             # The guard's measurement tap: every delivery to this replica
             # reports its one-way latency.
             network.set_delay_observer(replica_id, replica.guard.on_network_delay)
+        if pconf.dissemination and isinstance(replica, AlterBFTReplica):
+            replica.dissem = DisseminationManager(replica)
         _instrument(replica, collector, scheduler)
         if replica_id in faulty:
             apply_behavior(faulty[replica_id], replica, network, scheduler)

@@ -6,13 +6,14 @@ genuine encoded size.  Type-id allocation:
 
 * 10–19  core data types (transaction, block, certificates)
 * 20–39  AlterBFT / shared consensus messages
-* 40–59  Sync HotStuff
+* 40–59  Sync HotStuff (Merkle proofs live in :mod:`repro.crypto.merkle`
+  at 41–42)
 * 60–79  HotStuff
 * 80–99  PBFT
 * 100–109 measurement probes and client traffic
 * 110–119 synchrony guard (Δ-adjust certificates live in
   :mod:`repro.types.certificates` at 110–111; guard wire messages here
-  at 112–115)
+  at 112–115) and payload dissemination (chunk messages at 116–118)
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from typing import Optional, Tuple
 
 from ..codec import register
 from ..crypto.hashing import Digest
+from ..crypto.merkle import MerkleMultiProof, MerkleProof
 from .block import Block, BlockHeader, BlockPayload
 from .certificates import (
     AnyBlameCert,
@@ -498,6 +500,88 @@ class DeltaAdjustCertMsg:
     new rung for installation at the next epoch boundary."""
 
     cert: AnyDeltaAdjustCert
+
+
+# --------------------------------------------------------------------------
+# Payload dissemination (AlterBFT family; see repro.dissem)
+#
+# The leader erasure-codes each payload into n Merkle-rooted shares and
+# sends every replica one share; replicas pull the rest from peers.  A
+# share is payload_size/(f+1) bytes plus a logarithmic proof — for the
+# workloads the paper studies that is still a *large* message, but a
+# factor f+1 smaller than the blob, which is what flattens the leader's
+# egress spike.  Requests stay small.
+# --------------------------------------------------------------------------
+
+
+@register(116)
+@dataclass(frozen=True)
+class ChunkShareMsg:
+    """One erasure-coded share of a block payload.
+
+    Attributes:
+        epoch: epoch of the proposal the payload belongs to.
+        height: chain height of the proposal.
+        block_hash: header hash binding the share to one proposal.
+        chunk_root: Merkle root over all n shares' bytes.
+        k: reconstruction threshold (any k shares decode; k = f+1).
+        n: total number of shares the payload was coded into.
+        index: this share's position in 0..n-1.
+        share: the share bytes.
+        proof: inclusion proof of ``share`` under ``chunk_root``.
+    """
+
+    epoch: int
+    height: int
+    block_hash: Digest
+    chunk_root: Digest
+    k: int
+    n: int
+    index: int
+    share: bytes
+    proof: MerkleProof
+
+
+@register(117)
+@dataclass(frozen=True)
+class ChunkRequestMsg:
+    """Pull request for missing payload shares — a *small* message.
+
+    Attributes:
+        sender: requesting replica (responses go back to it).
+        epoch: epoch of the proposal being reconstructed.
+        height: chain height of the proposal.
+        block_hash: proposal whose shares are wanted.
+        have: share indexes the requester already holds; the provider
+            answers with verified shares outside this set.
+    """
+
+    sender: int
+    epoch: int
+    height: int
+    block_hash: Digest
+    have: Tuple[int, ...]
+
+
+@register(118)
+@dataclass(frozen=True)
+class ChunkResponseMsg:
+    """Answer to :class:`ChunkRequestMsg` — up to k-1 shares under one
+    compact multiproof (instead of one single-leaf path per share).
+
+    Self-contained: carries the coding parameters so even a replica
+    whose every pushed share was lost or corrupt can verify and decode.
+    """
+
+    epoch: int
+    height: int
+    block_hash: Digest
+    chunk_root: Digest
+    k: int
+    n: int
+    indexes: Tuple[int, ...]
+    shares: Tuple[bytes, ...]
+    proof: MerkleMultiProof
 
 
 def proposal_signing_bytes(block_hash: Digest) -> bytes:

@@ -7,7 +7,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto.hashing import ZERO_DIGEST
-from repro.crypto.merkle import MerkleTree, merkle_root, verify_proof
+from repro.crypto.merkle import (
+    MerkleTree,
+    combine_proofs,
+    expand_multiproof,
+    merkle_root,
+    verify_multiproof,
+    verify_proof,
+)
 from repro.errors import CryptoError
 
 
@@ -61,6 +68,129 @@ class TestProofs:
             tree.prove(1)
         with pytest.raises(CryptoError):
             tree.prove(-1)
+
+
+class TestMultiProofs:
+    """One compact proof covers a *set* of leaves — the dissemination
+    layer's chunk responses ride this format."""
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8, 9, 13])
+    def test_all_subsets_verify(self, count):
+        from itertools import combinations
+
+        leaves = [bytes([i]) * 4 for i in range(count)]
+        tree = MerkleTree(leaves)
+        for size in range(1, min(count, 4) + 1):
+            for combo in combinations(range(count), size):
+                proof = tree.prove_multi(combo)
+                chosen = [leaves[i] for i in combo]
+                assert verify_multiproof(tree.root, chosen, proof)
+
+    def test_multiproof_smaller_than_single_paths(self):
+        leaves = [bytes([i]) * 8 for i in range(16)]
+        tree = MerkleTree(leaves)
+        indexes = (4, 5, 6, 7)
+        multi = tree.prove_multi(indexes)
+        single_digests = sum(len(tree.prove(i).path) for i in indexes)
+        assert len(multi.path) < single_digests
+
+    def test_tampered_leaf_rejected(self):
+        leaves = [b"a", b"b", b"c", b"d", b"e"]
+        tree = MerkleTree(leaves)
+        proof = tree.prove_multi((1, 3))
+        assert not verify_multiproof(tree.root, [b"b", b"x"], proof)
+
+    def test_tampered_path_rejected(self):
+        from dataclasses import replace
+
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        proof = tree.prove_multi((0,))
+        bad_path = (b"\x00" * 32,) + proof.path[1:]
+        assert not verify_multiproof(tree.root, [b"a"], replace(proof, path=bad_path))
+
+    def test_wrong_indexes_rejected(self):
+        from dataclasses import replace
+
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        proof = tree.prove_multi((1,))
+        assert not verify_multiproof(tree.root, [b"b"], replace(proof, indexes=(2,)))
+
+    def test_truncated_and_padded_paths_rejected(self):
+        from dataclasses import replace
+
+        leaves = [b"a", b"b", b"c", b"d", b"e"]
+        tree = MerkleTree(leaves)
+        proof = tree.prove_multi((0, 2))
+        chosen = [b"a", b"c"]
+        assert not verify_multiproof(
+            tree.root, chosen, replace(proof, path=proof.path[:-1])
+        )
+        assert not verify_multiproof(
+            tree.root, chosen, replace(proof, path=proof.path + (b"\x01" * 32,))
+        )
+
+    def test_empty_index_set_rejected(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(CryptoError):
+            tree.prove_multi(())
+
+
+class TestCombineExpand:
+    """combine_proofs / expand_multiproof: a provider that never saw the
+    whole tree re-serves compact multiproofs from stored single proofs,
+    and a receiver splits a multiproof back into storable single proofs."""
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8, 9, 13])
+    def test_combine_equals_prove_multi(self, count):
+        from itertools import combinations
+
+        leaves = [bytes([i]) * 4 for i in range(count)]
+        tree = MerkleTree(leaves)
+        singles = {i: tree.prove(i) for i in range(count)}
+        for size in range(1, min(count, 4) + 1):
+            for combo in combinations(range(count), size):
+                combined = combine_proofs(count, {i: singles[i] for i in combo})
+                assert combined == tree.prove_multi(combo)
+
+    def test_expand_recovers_single_proofs(self):
+        leaves = [bytes([i]) * 4 for i in range(9)]
+        tree = MerkleTree(leaves)
+        indexes = (2, 5, 8)
+        multi = tree.prove_multi(indexes)
+        expanded = expand_multiproof(tree.root, [leaves[i] for i in indexes], multi)
+        assert expanded is not None
+        assert set(expanded) == set(indexes)
+        for i, proof in expanded.items():
+            assert proof == tree.prove(i)
+            assert verify_proof(tree.root, leaves[i], proof)
+
+    def test_expand_rejects_tampered(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        multi = tree.prove_multi((0, 3))
+        assert expand_multiproof(tree.root, [b"a", b"x"], multi) is None
+        wrong_root = bytes(32)
+        assert expand_multiproof(wrong_root, [b"a", b"d"], multi) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.binary(max_size=16), min_size=1, max_size=20),
+        st.sets(st.integers(min_value=0, max_value=19), min_size=1, max_size=5),
+    )
+    def test_combine_expand_roundtrip_property(self, leaves, raw_indexes):
+        indexes = sorted(i % len(leaves) for i in raw_indexes)
+        indexes = sorted(set(indexes))
+        tree = MerkleTree(leaves)
+        combined = combine_proofs(len(leaves), {i: tree.prove(i) for i in indexes})
+        assert combined == tree.prove_multi(indexes)
+        expanded = expand_multiproof(
+            tree.root, [leaves[i] for i in indexes], combined
+        )
+        assert expanded is not None
+        for i, proof in expanded.items():
+            assert proof == tree.prove(i)
 
 
 @settings(max_examples=100, deadline=None)
